@@ -1,0 +1,90 @@
+// Ablation: sensitivity of the headline result to the simulator's
+// calibration constants (DESIGN.md §2). Sweeps the device/CPU speed ratio
+// and the PCIe bandwidth at one Figure-14 point (SSB, SF 10, single user)
+// and reports CPU-Only vs GPU-Only vs Data-Driven Chopping. The qualitative
+// ordering (DD-Chopping never worse than CPU-Only) must hold across the
+// sweep — showing the reproduction does not hinge on one magic constant.
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+namespace {
+
+void RunRow(const std::string& label, const SystemConfig& config,
+            const DatabasePtr& db) {
+  WorkloadRunOptions options;
+  options.repetitions = 1;
+  options.warmup_repetitions = 1;
+  const WorkloadRunResult cpu =
+      RunPoint(config, db, Strategy::kCpuOnly, SsbQueries(), options);
+  const WorkloadRunResult gpu =
+      RunPoint(config, db, Strategy::kGpuOnly, SsbQueries(), options);
+  const WorkloadRunResult ddc = RunPoint(
+      config, db, Strategy::kDataDrivenChopping, SsbQueries(), options);
+  PrintCell(label);
+  PrintCell(cpu.wall_millis);
+  PrintCell(gpu.wall_millis);
+  PrintCell(ddc.wall_millis);
+  PrintCell(ddc.wall_millis <= cpu.wall_millis * 1.1 ? std::string("yes")
+                                                     : std::string("NO"));
+  EndRow();
+}
+
+void ScaleGpu(SystemConfig* config, double factor) {
+  ThroughputTable& t = config->gpu_throughput;
+  t.scan_mbps *= factor;
+  t.join_mbps *= factor;
+  t.aggregate_mbps *= factor;
+  t.sort_mbps *= factor;
+  t.project_mbps *= factor;
+  t.materialize_mbps *= factor;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 2 : 10;
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  Banner("Ablation: calibration sensitivity",
+         "SSB SF " + std::to_string(static_cast<int>(sf)) +
+             ", single user; 'robust' = DD-Chopping <= 1.1x CPU-Only");
+
+  PrintHeader({"variant", "cpu_only[ms]", "gpu_only[ms]", "dd_chopping[ms]",
+               "robust"});
+
+  RunRow("baseline", PaperConfig(args.time_scale), db);
+
+  {
+    SystemConfig config = PaperConfig(args.time_scale);
+    ScaleGpu(&config, 0.5);  // device only ~1.25x the quad-core CPU
+    RunRow("gpu_x0.5", config, db);
+  }
+  {
+    SystemConfig config = PaperConfig(args.time_scale);
+    ScaleGpu(&config, 2.0);  // device 5x the CPU
+    RunRow("gpu_x2", config, db);
+  }
+  {
+    SystemConfig config = PaperConfig(args.time_scale);
+    config.pcie_mbps = 50;  // half the bus bandwidth
+    RunRow("pcie_x0.5", config, db);
+  }
+  {
+    SystemConfig config = PaperConfig(args.time_scale);
+    config.pcie_mbps = 400;  // NVLink-class interconnect
+    RunRow("pcie_x4", config, db);
+  }
+  {
+    SystemConfig config = PaperConfig(args.time_scale);
+    config.device_cache_bytes = 6ull << 20;  // starved cache
+    RunRow("cache_6MiB", config, db);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: database compression on the device cache (Section 6.3). The
+// paper argues compression "shifts the point where performance breaks down
+// to a larger scale factor ... [but] neither solves the cache thrashing nor
+// the heap contention problem". Reproduced by sweeping the SSB scale factor
+// with and without bit-packed cache entries under GPU-Only placement: the
+// thrashing knee moves right, but past it the degradation is the same.
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const std::vector<double> scale_factors =
+      args.quick ? std::vector<double>{2, 5} : std::vector<double>{5, 10, 20,
+                                                                   30, 40};
+
+  Banner("Ablation: device-cache compression",
+         "SSB workload under GPU-Only placement, plain vs bit-packed cache "
+         "entries (24 MiB cache)");
+
+  PrintHeader({"sf", "plain[ms]", "compressed[ms]", "plain_h2d[ms]",
+               "compressed_h2d[ms]"});
+  for (double sf : scale_factors) {
+    SsbGeneratorOptions gen;
+    gen.scale_factor = sf;
+    DatabasePtr db = GenerateSsbDatabase(gen);
+    WorkloadRunOptions options;
+    options.repetitions = 1;
+    options.warmup_repetitions = 1;
+
+    SystemConfig plain = PaperConfig(args.time_scale);
+    SystemConfig packed = PaperConfig(args.time_scale);
+    packed.compress_device_cache = true;
+
+    const WorkloadRunResult p =
+        RunPoint(plain, db, Strategy::kGpuOnly, SsbQueries(), options);
+    const WorkloadRunResult c =
+        RunPoint(packed, db, Strategy::kGpuOnly, SsbQueries(), options);
+    PrintCell(static_cast<uint64_t>(sf));
+    PrintCell(p.wall_millis);
+    PrintCell(c.wall_millis);
+    PrintCell(p.h2d_transfer_millis);
+    PrintCell(c.h2d_transfer_millis);
+    EndRow();
+  }
+  return 0;
+}

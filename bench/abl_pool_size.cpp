@@ -1,0 +1,41 @@
+// Ablation: device worker-pool size for query chopping. The pool size is
+// chopping's single knob — the upper bound on concurrently running device
+// operators (Section 5.2). Too small leaves latency on the table when the
+// heap has room; too large re-creates heap contention. Run on the B.2
+// parallel selection workload with 16 users.
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 5 : 10;
+  const int total_queries = args.quick ? 24 : 48;
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  Banner("Ablation: chopping pool size",
+         "B.2 workload, 16 users; device heap fits ~7 concurrent selections");
+
+  PrintHeader({"gpu_workers", "time[ms]", "aborts", "wasted[ms]"});
+  for (int gpu_workers : {1, 2, 4, 8, 16, 32}) {
+    SystemConfig config = ContentionConfig(db, args.time_scale);
+    config.gpu_workers = gpu_workers;
+    WorkloadRunOptions options;
+    options.repetitions = total_queries;
+    options.num_users = 16;
+    const WorkloadRunResult result =
+        RunPoint(config, db, Strategy::kDataDrivenChopping,
+                 ParallelSelectionQueries(), options);
+    PrintCell(static_cast<uint64_t>(gpu_workers));
+    PrintCell(result.wall_millis);
+    PrintCell(result.gpu_aborts);
+    PrintCell(result.wasted_millis);
+    EndRow();
+  }
+  return 0;
+}

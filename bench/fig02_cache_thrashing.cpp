@@ -1,0 +1,65 @@
+// Figure 2: cache thrashing. The Appendix B.1 serial selection workload
+// (eight interleaved single-column selections over lineorder, SF 10) under
+// operator-driven placement, with the device data-cache size swept from 0 to
+// beyond the 8-column working set. When the cache is one column short, LRU
+// evicts exactly the column the next query needs: every access misses and
+// execution time degrades by an order of magnitude (the paper measures 24x).
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 5 : 10;
+  const int reps = args.quick ? 4 : (args.full ? 25 : 8);
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  // Working set: the eight selection columns.
+  size_t working_set = 0;
+  for (const char* column : kSsbSelectionColumns) {
+    working_set += db->GetColumnByQualifiedName(std::string("lineorder.") +
+                                                column)
+                       .value()
+                       ->data_bytes();
+  }
+
+  Banner("Figure 2",
+         "Serial selection workload (B.1), operator-driven placement (GPU "
+         "Only, LRU demand cache), working set " +
+             Mib(working_set) + ", " + std::to_string(reps) +
+             " repetitions of 8 interleaved selections");
+
+  WorkloadRunOptions options;
+  options.repetitions = reps;
+  options.warmup_repetitions = 1;
+  // Operator-driven: the cache is filled on demand, no placement job.
+  options.refresh_data_placement = false;
+
+  PrintHeader({"buffer[MiB]", "time[ms]", "h2d[ms]", "cache_hit%"});
+  for (int step = 0; step <= 9; ++step) {
+    SystemConfig config = PaperConfig(args.time_scale);
+    config.device_cache_bytes = working_set * step / 8;  // 0 .. 9/8 of set
+    config.device_memory_bytes = config.device_cache_bytes + (16ull << 20);
+
+    EngineContext ctx(config, db, EvictionPolicy::kLru);
+    StrategyRunner runner(&ctx, Strategy::kGpuOnly);
+    WorkloadRunResult result =
+        RunWorkload(runner, SerialSelectionQueries(), options);
+    const DataCacheStats cache = ctx.cache().stats();
+    const double hit_rate =
+        cache.hits + cache.misses == 0
+            ? 0
+            : 100.0 * cache.hits / (cache.hits + cache.misses);
+    PrintCell(static_cast<double>(config.device_cache_bytes) / (1 << 20));
+    PrintCell(result.wall_millis);
+    PrintCell(result.h2d_transfer_millis);
+    PrintCell(hit_rate);
+    EndRow();
+  }
+  return 0;
+}

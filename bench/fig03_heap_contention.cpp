@@ -1,0 +1,30 @@
+// Figure 3: heap contention. The Appendix B.2 parallel selection workload
+// (fixed total work, increasing parallel users) on a device whose heap fits
+// ~7 concurrent selection operators. Under GPU-Only execution the workload
+// slows down sharply past the threshold (the paper measures up to 6x) while
+// the ideal system (CPU Only here, with constant total work) stays flat.
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 5 : 10;
+  const int total_queries = args.quick ? 24 : (args.full ? 100 : 48);
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  Banner("Figure 3",
+         "Parallel selection workload (B.2), " +
+             std::to_string(total_queries) +
+             " queries total, GPU-Only placement; contention threshold ~7 "
+             "users");
+
+  RunContentionSweep(args, db, {Strategy::kGpuOnly, Strategy::kCpuOnly},
+                     {ContentionMetric::kWallMillis}, total_queries);
+  return 0;
+}

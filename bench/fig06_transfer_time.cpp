@@ -1,0 +1,56 @@
+// Figure 6: time spent on host-to-device transfers in the B.1 selection
+// workload. Operator-driven placement thrashes (transfer time explodes when
+// the working set misses the cache); Data-Driven placement transfers only
+// what the placement job loads.
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 5 : 10;
+  const int reps = args.quick ? 4 : 8;
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  size_t working_set = 0;
+  for (const char* column : kSsbSelectionColumns) {
+    working_set += db->GetColumnByQualifiedName(std::string("lineorder.") +
+                                                column)
+                       .value()
+                       ->data_bytes();
+  }
+
+  Banner("Figure 6",
+         "Host-to-device transfer time in the B.1 selection workload");
+
+  PrintHeader({"buffer[MiB]", "gpu_only_h2d[ms]", "data_driven_h2d[ms]"});
+  for (int step = 0; step <= 9; ++step) {
+    SystemConfig config = PaperConfig(args.time_scale);
+    config.device_cache_bytes = working_set * step / 8;
+    config.device_memory_bytes = config.device_cache_bytes + (16ull << 20);
+
+    WorkloadRunOptions operator_driven;
+    operator_driven.repetitions = reps;
+    operator_driven.refresh_data_placement = false;
+    WorkloadRunOptions data_driven;
+    data_driven.repetitions = reps;
+
+    const WorkloadRunResult gpu =
+        RunPoint(config, db, Strategy::kGpuOnly, SerialSelectionQueries(),
+                 operator_driven, EvictionPolicy::kLru);
+    const WorkloadRunResult dd =
+        RunPoint(config, db, Strategy::kDataDriven, SerialSelectionQueries(),
+                 data_driven);
+
+    PrintCell(static_cast<double>(config.device_cache_bytes) / (1 << 20));
+    PrintCell(gpu.h2d_transfer_millis);
+    PrintCell(dd.h2d_transfer_millis);
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 7: Data-Driven placement alone does NOT solve heap contention —
+// with the filter columns cached, data-driven placement happily sends every
+// user's operators to the device, and their accumulated heap footprint still
+// exceeds capacity.
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 5 : 10;
+  const int total_queries = args.quick ? 24 : 48;
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  Banner("Figure 7",
+         "Parallel selection workload (B.2) under compile-time Data-Driven "
+         "placement: same degradation as operator-driven placement");
+
+  RunContentionSweep(args, db, {Strategy::kDataDriven, Strategy::kGpuOnly},
+                     {ContentionMetric::kWallMillis}, total_queries);
+  return 0;
+}

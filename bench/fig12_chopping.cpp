@@ -1,0 +1,29 @@
+// Figure 12: query chopping achieves near-optimal performance under
+// parallelism — the device worker pool bounds concurrently running device
+// operators, so heap contention (and its abort/transfer overhead) almost
+// disappears.
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 5 : 10;
+  const int total_queries = args.quick ? 24 : 48;
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  Banner("Figure 12",
+         "Parallel selection workload (B.2): chopping variants vs the "
+         "contention-prone strategies");
+
+  RunContentionSweep(args, db,
+                     {Strategy::kChopping, Strategy::kDataDrivenChopping,
+                      Strategy::kGpuOnly, Strategy::kCpuOnly},
+                     {ContentionMetric::kWallMillis}, total_queries);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 13: number of aborted device operators in the B.2 parallel
+// selection workload. Compile-time operator-driven placement aborts most;
+// run-time placement reduces aborts by relieving the heap after each abort;
+// chopping's concurrency bound nearly eliminates them.
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 5 : 10;
+  const int total_queries = args.quick ? 24 : 48;
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  Banner("Figure 13",
+         "Aborted device operators in the B.2 workload, by strategy");
+
+  RunContentionSweep(args, db,
+                     {Strategy::kGpuOnly, Strategy::kRunTime,
+                      Strategy::kChopping, Strategy::kDataDrivenChopping},
+                     {ContentionMetric::kAborts}, total_queries);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 14(b): average TPC-H workload execution time (Q2-Q7) vs scale
+// factor, for the six placement strategies of Section 6.2.
+
+#include "bench/bench_util.h"
+#include "tpch/tpch_queries.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const std::vector<double> scale_factors =
+      args.quick ? std::vector<double>{2, 5}
+                 : (args.full ? std::vector<double>{5, 10, 15, 20, 25, 30}
+                              : std::vector<double>{5, 10, 20, 30});
+  const std::vector<Strategy> strategies = {
+      Strategy::kCpuOnly,      Strategy::kGpuOnly,
+      Strategy::kCriticalPath, Strategy::kDataDriven,
+      Strategy::kChopping,     Strategy::kDataDrivenChopping};
+
+  Banner("Figure 14(b)",
+         "TPC-H workload (Q2-Q7) execution time vs scale factor; device "
+         "cache 24 MiB, heap 16 MiB");
+
+  std::vector<std::string> header = {"sf"};
+  for (Strategy strategy : strategies) {
+    header.push_back(std::string(StrategyToString(strategy)) + "[ms]");
+  }
+  PrintHeader(header);
+
+  for (double sf : scale_factors) {
+    TpchGeneratorOptions gen;
+    gen.scale_factor = sf;
+    DatabasePtr db = GenerateTpchDatabase(gen);
+
+    PrintCell(static_cast<uint64_t>(sf));
+    for (Strategy strategy : strategies) {
+      WorkloadRunOptions options;
+      options.repetitions = 1;
+      options.warmup_repetitions = 1;
+      const WorkloadRunResult result =
+          RunPoint(PaperConfig(args.time_scale), db, strategy, TpchQueries(),
+                   options);
+      PrintCell(result.wall_millis);
+    }
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 15(a)/(b): host-to-device data transfer time of the SSB and TPC-H
+// workloads vs scale factor. GPU-Only transfer time explodes once the
+// working set exceeds the device cache; Data-Driven (alone and combined with
+// chopping) saves the most IO.
+
+#include "bench/bench_util.h"
+#include "tpch/tpch_queries.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+namespace {
+
+void RunSweep(const BenchArgs& args, bool ssb) {
+  const std::vector<double> scale_factors =
+      args.quick ? std::vector<double>{2, 5} : std::vector<double>{5, 15, 30};
+  const std::vector<Strategy> strategies = {Strategy::kGpuOnly,
+                                            Strategy::kChopping,
+                                            Strategy::kDataDriven,
+                                            Strategy::kDataDrivenChopping};
+  std::vector<std::string> header = {"sf"};
+  for (Strategy strategy : strategies) {
+    header.push_back(std::string(StrategyToString(strategy)) + "_h2d[ms]");
+  }
+  PrintHeader(header);
+
+  for (double sf : scale_factors) {
+    DatabasePtr db;
+    if (ssb) {
+      SsbGeneratorOptions gen;
+      gen.scale_factor = sf;
+      db = GenerateSsbDatabase(gen);
+    } else {
+      TpchGeneratorOptions gen;
+      gen.scale_factor = sf;
+      db = GenerateTpchDatabase(gen);
+    }
+    PrintCell(static_cast<uint64_t>(sf));
+    for (Strategy strategy : strategies) {
+      WorkloadRunOptions options;
+      options.repetitions = 1;
+      options.warmup_repetitions = 1;
+      const WorkloadRunResult result =
+          RunPoint(PaperConfig(args.time_scale), db, strategy,
+                   ssb ? SsbQueries() : TpchQueries(), options);
+      PrintCell(result.h2d_transfer_millis);
+    }
+    EndRow();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Figure 15(a)", "SSB host-to-device transfer time vs scale factor");
+  RunSweep(args, /*ssb=*/true);
+  std::printf("\n");
+  Banner("Figure 15(b)", "TPC-H host-to-device transfer time vs scale factor");
+  RunSweep(args, /*ssb=*/false);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 16: memory footprint of the SSB and TPC-H workloads vs scale
+// factor, against the device data-cache capacity. The paper's point: from
+// SF 15 the working set significantly exceeds the cache, which is where the
+// cache-thrashing effect starts in Figure 14. Computed from real generated
+// data (bytes of every base column the workload's queries reference).
+
+#include <set>
+
+#include "bench/bench_util.h"
+#include "tpch/tpch_queries.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+namespace {
+
+/// Bytes of all base columns referenced by the workload's scans.
+size_t WorkloadFootprint(const DatabasePtr& db,
+                         const std::vector<NamedQuery>& queries) {
+  std::set<std::string> referenced;
+  size_t bytes = 0;
+  for (const NamedQuery& query : queries) {
+    Result<PlanNodePtr> plan = query.builder(*db);
+    HETDB_CHECK(plan.ok());
+    VisitPlanPostOrder(plan.value(), [&](const PlanNodePtr& node) {
+      if (node->op() != PlanOp::kScan) return;
+      const auto& scan = static_cast<const ScanNode&>(*node);
+      for (const auto& [key, column] : scan.base_columns()) {
+        if (referenced.insert(key).second) bytes += column->data_bytes();
+      }
+    });
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  (void)args;
+  Banner("Figure 16",
+         "Workload memory footprint vs scale factor (device cache: 24 MiB)");
+  PrintHeader({"sf", "ssb[MiB]", "tpch[MiB]", "cache[MiB]"});
+  for (double sf : {5, 10, 15, 20, 25, 30}) {
+    SsbGeneratorOptions ssb_gen;
+    ssb_gen.scale_factor = sf;
+    DatabasePtr ssb_db = GenerateSsbDatabase(ssb_gen);
+    TpchGeneratorOptions tpch_gen;
+    tpch_gen.scale_factor = sf;
+    DatabasePtr tpch_db = GenerateTpchDatabase(tpch_gen);
+    PrintCell(static_cast<uint64_t>(sf));
+    PrintCell(static_cast<double>(WorkloadFootprint(ssb_db, SsbQueries())) /
+              (1 << 20));
+    PrintCell(static_cast<double>(WorkloadFootprint(tpch_db, TpchQueries())) /
+              (1 << 20));
+    PrintCell(static_cast<double>(PaperConfig().device_cache_bytes) /
+              (1 << 20));
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 17: per-query execution times of selected SSB queries for a single
+// user at scale factor 30 (working set well beyond the device cache).
+// Expected shape: GPU-Only slows every query down; Critical Path matches
+// CPU-Only; Data-Driven Chopping helps most on the high-selectivity queries
+// (Q2.3, Q3.4, Q4.3 — small intermediate results, cheap switch-back).
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 10 : 30;
+  const std::vector<std::string> query_names = {"Q1.1", "Q2.1", "Q2.3",
+                                                "Q3.1", "Q3.4", "Q4.1",
+                                                "Q4.3"};
+  const std::vector<Strategy> strategies = {
+      Strategy::kCpuOnly, Strategy::kGpuOnly, Strategy::kCriticalPath,
+      Strategy::kDataDrivenChopping};
+
+  Banner("Figure 17",
+         "Selected SSB query times, single user, SF " +
+             std::to_string(static_cast<int>(sf)));
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  std::vector<NamedQuery> queries;
+  for (const std::string& name : query_names) {
+    Result<NamedQuery> query = SsbQueryByName(name);
+    HETDB_CHECK(query.ok());
+    queries.push_back(std::move(query).value());
+  }
+
+  std::vector<std::string> header = {"query"};
+  for (Strategy strategy : strategies) {
+    header.push_back(std::string(StrategyToString(strategy)) + "[ms]");
+  }
+  PrintHeader(header);
+
+  // One workload run per strategy; per-query latencies from the driver.
+  std::vector<WorkloadRunResult> results;
+  for (Strategy strategy : strategies) {
+    WorkloadRunOptions options;
+    options.repetitions = 1;
+    options.warmup_repetitions = 1;
+    results.push_back(RunPoint(PaperConfig(args.time_scale), db, strategy,
+                               queries, options));
+  }
+  for (const std::string& name : query_names) {
+    PrintCell(name);
+    for (const WorkloadRunResult& result : results) {
+      auto it = result.latency_ms_by_query.find(name);
+      PrintCell(it != result.latency_ms_by_query.end() ? it->second : -1.0);
+    }
+    EndRow();
+  }
+  return 0;
+}

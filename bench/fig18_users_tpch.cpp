@@ -1,0 +1,49 @@
+// Figure 18(b): TPC-H workload execution time (SF 10, fixed total work) with
+// a growing number of parallel users.
+
+#include "bench/bench_util.h"
+#include "tpch/tpch_queries.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 5 : 10;
+  const int reps = args.quick ? 1 : 2;
+  const std::vector<int> users =
+      args.quick ? std::vector<int>{1, 8} : std::vector<int>{1, 4, 8, 16, 20};
+  const std::vector<Strategy> strategies = {
+      Strategy::kCpuOnly,      Strategy::kGpuOnly,
+      Strategy::kCriticalPath, Strategy::kDataDriven,
+      Strategy::kChopping,     Strategy::kDataDrivenChopping};
+
+  Banner("Figure 18(b)",
+         "TPC-H workload time vs parallel users (SF " +
+             std::to_string(static_cast<int>(sf)) + ")");
+
+  TpchGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateTpchDatabase(gen);
+
+  std::vector<std::string> header = {"users"};
+  for (Strategy strategy : strategies) {
+    header.push_back(std::string(StrategyToString(strategy)) + "[ms]");
+  }
+  PrintHeader(header);
+
+  for (int user_count : users) {
+    PrintCell(static_cast<uint64_t>(user_count));
+    for (Strategy strategy : strategies) {
+      WorkloadRunOptions options;
+      options.repetitions = reps;
+      options.num_users = user_count;
+      options.warmup_repetitions = 1;
+      const WorkloadRunResult result = RunPoint(
+          PaperConfig(args.time_scale), db, strategy, TpchQueries(), options);
+      PrintCell(result.wall_millis);
+    }
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 19: host-to-device transfer time of the SSB and TPC-H workloads vs
+// parallel users (SF 10). Chopping reduces IO significantly with increasing
+// parallelism; the paper reports up to 48x (SSB) / 16x (TPC-H) savings for
+// Data-Driven Chopping over GPU-Only.
+
+#include "bench/bench_util.h"
+#include "tpch/tpch_queries.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+namespace {
+
+void RunSweep(const BenchArgs& args, bool ssb) {
+  const double sf = args.quick ? 5 : 10;
+  const std::vector<int> users =
+      args.quick ? std::vector<int>{1, 8} : std::vector<int>{1, 8, 16, 20};
+  const std::vector<Strategy> strategies = {Strategy::kGpuOnly,
+                                            Strategy::kChopping,
+                                            Strategy::kDataDrivenChopping};
+  DatabasePtr db;
+  if (ssb) {
+    SsbGeneratorOptions gen;
+    gen.scale_factor = sf;
+    db = GenerateSsbDatabase(gen);
+  } else {
+    TpchGeneratorOptions gen;
+    gen.scale_factor = sf;
+    db = GenerateTpchDatabase(gen);
+  }
+
+  std::vector<std::string> header = {"users"};
+  for (Strategy strategy : strategies) {
+    header.push_back(std::string(StrategyToString(strategy)) + "_h2d[ms]");
+  }
+  PrintHeader(header);
+
+  for (int user_count : users) {
+    PrintCell(static_cast<uint64_t>(user_count));
+    for (Strategy strategy : strategies) {
+      WorkloadRunOptions options;
+      options.repetitions = args.quick ? 1 : 2;
+      options.num_users = user_count;
+      const WorkloadRunResult result =
+          RunPoint(PaperConfig(args.time_scale), db, strategy,
+                   ssb ? SsbQueries() : TpchQueries(), options);
+      PrintCell(result.h2d_transfer_millis);
+    }
+    EndRow();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Figure 19(a)", "SSB host-to-device transfer time vs users (SF 10)");
+  RunSweep(args, /*ssb=*/true);
+  std::printf("\n");
+  Banner("Figure 19(b)", "TPC-H host-to-device transfer time vs users (SF 10)");
+  RunSweep(args, /*ssb=*/false);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 20: total *wasted time* (time from operator start to abort, summed
+// over all aborted device operators) of the SSB workload vs parallel users.
+// Chopping cuts wasted time by orders of magnitude (the paper reports up to
+// 74x) because its concurrency bound prevents most aborts in the first
+// place.
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 5 : 10;
+  const std::vector<int> users =
+      args.quick ? std::vector<int>{1, 8} : std::vector<int>{1, 8, 16, 20};
+  const std::vector<Strategy> strategies = {
+      Strategy::kGpuOnly, Strategy::kRunTime, Strategy::kChopping,
+      Strategy::kDataDrivenChopping};
+
+  Banner("Figure 20",
+         "Wasted time of aborted device operators, SSB workload vs users "
+         "(SF " + std::to_string(static_cast<int>(sf)) + ")");
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  std::vector<std::string> header = {"users"};
+  for (Strategy strategy : strategies) {
+    header.push_back(std::string(StrategyToString(strategy)) + "_wasted[ms]");
+    header.push_back(std::string(StrategyToString(strategy)) + "_aborts");
+  }
+  PrintHeader(header);
+
+  for (int user_count : users) {
+    PrintCell(static_cast<uint64_t>(user_count));
+    for (Strategy strategy : strategies) {
+      WorkloadRunOptions options;
+      options.repetitions = args.quick ? 1 : 2;
+      options.num_users = user_count;
+      const WorkloadRunResult result = RunPoint(
+          PaperConfig(args.time_scale), db, strategy, SsbQueries(), options);
+      PrintCell(result.wasted_millis);
+      PrintCell(result.gpu_aborts);
+    }
+    EndRow();
+  }
+  return 0;
+}

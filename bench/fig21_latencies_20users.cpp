@@ -1,0 +1,63 @@
+// Figure 21: per-query latency of selected SSB queries with 20 parallel
+// users (SF 10), including the GPU-Only + single-query admission-control
+// baseline (Wang et al. style). Chopping matches or beats admission control
+// on most queries; Data-Driven Chopping accelerates the high-selectivity
+// queries most.
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 5 : 10;
+  const int users = args.quick ? 8 : 20;
+  const std::vector<std::string> query_names = {"Q1.1", "Q1.3", "Q2.1",
+                                                "Q2.3", "Q3.1", "Q3.4",
+                                                "Q4.1", "Q4.3"};
+
+  Banner("Figure 21",
+         "Per-query latency, " + std::to_string(users) +
+             " users, SF " + std::to_string(static_cast<int>(sf)) +
+             "; 'Admission' = GPU Only with one query admitted at a time");
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  struct Mode {
+    std::string label;
+    Strategy strategy;
+    int admission_limit;
+  };
+  const std::vector<Mode> modes = {
+      {"GPU Only", Strategy::kGpuOnly, 0},
+      {"Admission", Strategy::kGpuOnly, 1},
+      {"Chopping", Strategy::kChopping, 0},
+      {"DD Chopping", Strategy::kDataDrivenChopping, 0},
+  };
+
+  std::vector<WorkloadRunResult> results;
+  for (const Mode& mode : modes) {
+    WorkloadRunOptions options;
+    options.repetitions = args.quick ? 1 : 2;
+    options.num_users = users;
+    options.admission_limit = mode.admission_limit;
+    results.push_back(RunPoint(PaperConfig(args.time_scale), db, mode.strategy,
+                               SsbQueries(), options));
+  }
+
+  std::vector<std::string> header = {"query"};
+  for (const Mode& mode : modes) header.push_back(mode.label + "[ms]");
+  PrintHeader(header);
+  for (const std::string& name : query_names) {
+    PrintCell(name);
+    for (const WorkloadRunResult& result : results) {
+      auto it = result.latency_ms_by_query.find(name);
+      PrintCell(it != result.latency_ms_by_query.end() ? it->second : -1.0);
+    }
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 23 (Appendix A): per-query SSB execution time of the CPU backend vs
+// the hot device backend, single user, SF 10 (Ocelot substitution — see
+// DESIGN.md).
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 5 : 10;
+
+  Banner("Figure 23",
+         "SSB per-query times, CPU backend vs hot device backend (SF " +
+             std::to_string(static_cast<int>(sf)) + ", single user)");
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  WorkloadRunOptions options;
+  options.repetitions = args.quick ? 1 : 3;
+  options.warmup_repetitions = 1;
+
+  const WorkloadRunResult cpu = RunPoint(PaperConfig(args.time_scale), db,
+                                         Strategy::kCpuOnly, SsbQueries(),
+                                         options);
+  const WorkloadRunResult gpu = RunPoint(PaperConfig(args.time_scale), db,
+                                         Strategy::kGpuOnly, SsbQueries(),
+                                         options);
+
+  PrintHeader({"query", "cpu_backend[ms]", "gpu_backend[ms]", "speedup"});
+  for (const auto& [name, cpu_ms] : cpu.latency_ms_by_query) {
+    auto it = gpu.latency_ms_by_query.find(name);
+    const double gpu_ms = it != gpu.latency_ms_by_query.end() ? it->second : -1;
+    PrintCell(name);
+    PrintCell(cpu_ms);
+    PrintCell(gpu_ms);
+    PrintCell(gpu_ms > 0 ? cpu_ms / gpu_ms : 0.0);
+    EndRow();
+  }
+  return 0;
+}

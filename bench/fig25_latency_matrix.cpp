@@ -1,0 +1,50 @@
+// Figure 25 (Appendix): per-query latencies of all 13 SSB queries as the
+// number of parallel users grows (SF 10), under Data-Driven Chopping. Short
+// queries slow down moderately under the concurrency bound; long queries
+// stay stable — the latency/robustness trade-off discussed in Section 6.2.2.
+
+#include "bench/bench_util.h"
+
+using namespace hetdb;
+using namespace hetdb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double sf = args.quick ? 5 : 10;
+  const std::vector<int> users =
+      args.quick ? std::vector<int>{1, 8} : std::vector<int>{1, 5, 10, 20};
+
+  Banner("Figure 25",
+         "Latency of every SSB query vs parallel users (SF " +
+             std::to_string(static_cast<int>(sf)) +
+             ", Data-Driven Chopping)");
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = sf;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  std::vector<WorkloadRunResult> results;
+  for (int user_count : users) {
+    WorkloadRunOptions options;
+    options.repetitions = args.quick ? 1 : 2;
+    options.num_users = user_count;
+    results.push_back(RunPoint(PaperConfig(args.time_scale), db,
+                               Strategy::kDataDrivenChopping, SsbQueries(),
+                               options));
+  }
+
+  std::vector<std::string> header = {"query"};
+  for (int user_count : users) {
+    header.push_back(std::to_string(user_count) + "_users[ms]");
+  }
+  PrintHeader(header);
+  for (const NamedQuery& query : SsbQueries()) {
+    PrintCell(query.name);
+    for (const WorkloadRunResult& result : results) {
+      auto it = result.latency_ms_by_query.find(query.name);
+      PrintCell(it != result.latency_ms_by_query.end() ? it->second : -1.0);
+    }
+    EndRow();
+  }
+  return 0;
+}

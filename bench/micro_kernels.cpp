@@ -1,0 +1,113 @@
+// Google-benchmark microbenchmarks for the compute kernels and substrate
+// primitives (real host performance, no simulation). These are not paper
+// figures; they characterize the building blocks the simulator wraps.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/data_cache.h"
+#include "operators/kernels.h"
+#include "sim/simulator.h"
+#include "ssb/ssb_generator.h"
+
+namespace hetdb {
+namespace {
+
+DatabasePtr BenchDb() {
+  static DatabasePtr db = [] {
+    SsbGeneratorOptions options;
+    options.scale_factor = 2.0;  // 120k lineorder rows
+    return GenerateSsbDatabase(options);
+  }();
+  return db;
+}
+
+SystemConfig NoSimConfig() {
+  SystemConfig config;
+  config.simulate_time = false;
+  return config;
+}
+
+void BM_Filter(benchmark::State& state) {
+  DatabasePtr db = BenchDb();
+  TablePtr lineorder = db->GetTable("lineorder").value();
+  const ConjunctiveFilter filter = ConjunctiveFilter::And(
+      {Predicate::Between("lo_discount", int64_t{4}, int64_t{6}),
+       Predicate::Between("lo_quantity", int64_t{26}, int64_t{35})});
+  for (auto _ : state) {
+    auto rows = EvaluateFilter(*lineorder, filter);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * 4 *
+                          static_cast<int64_t>(lineorder->num_rows()));
+}
+BENCHMARK(BM_Filter);
+
+void BM_HashJoin(benchmark::State& state) {
+  DatabasePtr db = BenchDb();
+  TablePtr lineorder = db->GetTable("lineorder").value();
+  TablePtr supplier = db->GetTable("supplier").value();
+  JoinOutputSpec spec;
+  spec.build_columns = {"s_nation"};
+  spec.probe_columns = {"lo_revenue"};
+  for (auto _ : state) {
+    auto joined = HashJoin(*supplier, "s_suppkey", *lineorder, "lo_suppkey",
+                           spec, "j");
+    benchmark::DoNotOptimize(joined);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(lineorder->num_rows()));
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_Aggregate(benchmark::State& state) {
+  DatabasePtr db = BenchDb();
+  TablePtr lineorder = db->GetTable("lineorder").value();
+  for (auto _ : state) {
+    auto result = Aggregate(*lineorder, {"lo_discount"},
+                            {{AggregateFn::kSum, "lo_revenue", "rev"}}, "a");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(lineorder->num_rows()));
+}
+BENCHMARK(BM_Aggregate);
+
+void BM_Sort(benchmark::State& state) {
+  DatabasePtr db = BenchDb();
+  TablePtr customer = db->GetTable("customer").value();
+  for (auto _ : state) {
+    auto result = Sort(*customer, {{"c_city", true}, {"c_custkey", false}},
+                       "s");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(customer->num_rows()));
+}
+BENCHMARK(BM_Sort);
+
+void BM_DeviceAllocator(benchmark::State& state) {
+  DeviceAllocator allocator(1ull << 30);
+  for (auto _ : state) {
+    auto a = allocator.Allocate(4096, "x");
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_DeviceAllocator);
+
+void BM_CacheHit(benchmark::State& state) {
+  Simulator sim(NoSimConfig());
+  DataCache cache(1ull << 20, EvictionPolicy::kLfu, &sim);
+  auto column = std::make_shared<Int32Column>(
+      "c", std::vector<int32_t>(1024, 1));
+  { auto warm = cache.RequireOnDevice(column, "t.c"); }
+  for (auto _ : state) {
+    auto access = cache.RequireOnDevice(column, "t.c");
+    benchmark::DoNotOptimize(access);
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+}  // namespace
+}  // namespace hetdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Multi-user robustness demo: the paper's headline scenario end-to-end.
+// Twenty analysts fire SSB queries at a machine whose co-processor heap is
+// far too small for that concurrency. GPU-Preferred execution thrashes the
+// heap (aborts, wasted time, bus traffic); Data-Driven Chopping stays
+// robust. Prints a side-by-side comparison.
+//
+//   ./build/examples/multi_user_robustness [users]   (default 16)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ssb/ssb_generator.h"
+#include "workload/workload.h"
+
+using namespace hetdb;
+
+int main(int argc, char** argv) {
+  const int users = argc > 1 ? std::atoi(argv[1]) : 16;
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = 5.0;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+  std::printf("SSB SF5 (%zu MB), %d parallel users, small co-processor\n\n",
+              db->TotalBytes() >> 20, users);
+
+  SystemConfig config;
+  config.device_memory_bytes = 24ull << 20;
+  config.device_cache_bytes = 14ull << 20;
+  config.time_scale = 2.0;
+
+  WorkloadRunOptions options;
+  options.repetitions = 2;
+  options.num_users = users;
+
+  std::printf("%-22s %10s %9s %8s %11s %12s\n", "strategy", "time[ms]",
+              "aborts", "wasted", "h2d[ms]", "gpu/cpu ops");
+  for (Strategy strategy :
+       {Strategy::kGpuOnly, Strategy::kRunTime, Strategy::kChopping,
+        Strategy::kDataDrivenChopping, Strategy::kCpuOnly}) {
+    EngineContext ctx(config, db);
+    StrategyRunner runner(&ctx, strategy);
+    const WorkloadRunResult result = RunWorkload(runner, SsbQueries(), options);
+    std::printf("%-22s %10.1f %9llu %8.1f %11.1f %6llu/%llu\n",
+                StrategyToString(strategy), result.wall_millis,
+                static_cast<unsigned long long>(result.gpu_aborts),
+                result.wasted_millis, result.h2d_transfer_millis,
+                static_cast<unsigned long long>(result.gpu_operators),
+                static_cast<unsigned long long>(result.cpu_operators));
+    if (result.failed_queries > 0) {
+      std::printf("  !! %llu queries failed\n",
+                  static_cast<unsigned long long>(result.failed_queries));
+      return 1;
+    }
+  }
+  std::printf(
+      "\nRobust query processing means the co-processor never makes things\n"
+      "worse: compare the last column pairs — chopping uses the device only\n"
+      "to the degree the heap allows, so aborts and wasted time vanish.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Interactive SQL shell over an SSB database, executed with the robust
+// Data-Driven Chopping strategy on the simulated co-processor.
+//
+//   ./build/examples/sql_shell            # interactive
+//   echo "SELECT ..." | ./build/examples/sql_shell
+//
+// Meta commands: \tables, \cache, \quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "placement/strategy_runner.h"
+#include "sql/planner.h"
+#include "ssb/ssb_generator.h"
+
+using namespace hetdb;
+
+namespace {
+
+void PrintValue(const Column& column, size_t row) {
+  switch (column.type()) {
+    case DataType::kInt32:
+      std::printf("%-18d", static_cast<const Int32Column&>(column).value(row));
+      break;
+    case DataType::kInt64:
+      std::printf("%-18lld",
+                  static_cast<long long>(
+                      static_cast<const Int64Column&>(column).value(row)));
+      break;
+    case DataType::kDouble:
+      std::printf("%-18.2f", static_cast<const DoubleColumn&>(column).value(row));
+      break;
+    case DataType::kString:
+      std::printf("%-18s",
+                  std::string(static_cast<const StringColumn&>(column).value(row))
+                      .c_str());
+      break;
+  }
+}
+
+void PrintTable(const Table& table, size_t max_rows = 25) {
+  for (const ColumnPtr& column : table.columns()) {
+    std::printf("%-18s", column->name().c_str());
+  }
+  std::printf("\n");
+  const size_t rows = std::min(max_rows, table.num_rows());
+  for (size_t row = 0; row < rows; ++row) {
+    for (const ColumnPtr& column : table.columns()) PrintValue(*column, row);
+    std::printf("\n");
+  }
+  if (rows < table.num_rows()) {
+    std::printf("... (%zu rows total)\n", table.num_rows());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("HetDB SQL shell — generating SSB database (SF 1)...\n");
+  SsbGeneratorOptions gen;
+  gen.scale_factor = 1.0;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  SystemConfig config;
+  config.device_memory_bytes = 16ull << 20;
+  config.device_cache_bytes = 10ull << 20;
+  config.time_scale = 1.0;
+  EngineContext ctx(config, db);
+  StrategyRunner runner(&ctx, Strategy::kDataDrivenChopping);
+
+  std::printf(
+      "Tables: lineorder, customer, supplier, part, date. Try:\n"
+      "  SELECT d_year, sum(lo_revenue) AS revenue FROM lineorder, date\n"
+      "  WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year;\n\n");
+
+  std::string line;
+  while (true) {
+    std::printf("hetdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\tables") {
+      for (const TablePtr& table : db->tables()) {
+        std::printf("  %s (%zu rows, %zu columns)\n", table->name().c_str(),
+                    table->num_rows(), table->num_columns());
+      }
+      continue;
+    }
+    if (line == "\\cache") {
+      std::printf("  device cache: %zu / %zu bytes\n", ctx.cache().used_bytes(),
+                  ctx.cache().capacity_bytes());
+      for (const std::string& key : ctx.cache().CachedKeys()) {
+        std::printf("    %s\n", key.c_str());
+      }
+      continue;
+    }
+
+    Result<PlanNodePtr> plan = PlanSql(line, *db);
+    if (!plan.ok()) {
+      std::printf("error: %s\n", plan.status().ToString().c_str());
+      continue;
+    }
+    Stopwatch watch;
+    Result<TablePtr> result = runner.RunQuery(plan.value());
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintTable(*result.value());
+    std::printf("(%.2f ms; refreshing data placement in background)\n",
+                watch.ElapsedMillis());
+    // Emulate the periodic Algorithm-1 job after each statement.
+    runner.RefreshDataPlacement();
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Splits a full benchmark sweep log (bench_output.txt) into per-figure TSV
+files for plotting.
+
+Usage:
+    python3 scripts/split_bench_output.py bench_output.txt out_dir/
+
+Each `# <banner>` section becomes `<out_dir>/<slug>.tsv` with the banner
+kept as comment lines. Columns in the source are fixed-width; they are
+re-emitted tab-separated.
+"""
+
+import os
+import re
+import sys
+
+
+def slugify(title: str) -> str:
+    slug = re.sub(r"[^a-zA-Z0-9]+", "_", title.strip().lower()).strip("_")
+    return slug or "section"
+
+
+def split_columns(line: str) -> list[str]:
+    # Source rows are printed in 24-character fixed-width cells.
+    cells = [line[i : i + 24].strip() for i in range(0, len(line), 24)]
+    return [c for c in cells if c]
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 1
+    source, out_dir = sys.argv[1], sys.argv[2]
+    os.makedirs(out_dir, exist_ok=True)
+
+    sections: list[tuple[str, list[str]]] = []
+    with open(source, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.rstrip("\n")
+            if line.startswith("# ") and (
+                line.startswith("# Figure") or line.startswith("# Ablation")
+            ):
+                sections.append((line[2:], []))
+                continue
+            if sections:
+                sections[-1][1].append(line)
+
+    for title, lines in sections:
+        path = os.path.join(out_dir, slugify(title) + ".tsv")
+        with open(path, "w", encoding="utf-8") as out:
+            out.write(f"# {title}\n")
+            for line in lines:
+                if not line or line.startswith("#"):
+                    if line.strip("# "):
+                        out.write(f"# {line.lstrip('# ')}\n")
+                    continue
+                out.write("\t".join(split_columns(line)) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+namespace hetdb {
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (level < min_level_ && level != LogLevel::kFatal) return;
+  const char* prefix = "";
+  switch (level) {
+    case LogLevel::kDebug:
+      prefix = "[DEBUG] ";
+      break;
+    case LogLevel::kInfo:
+      prefix = "[INFO] ";
+      break;
+    case LogLevel::kWarning:
+      prefix = "[WARN] ";
+      break;
+    case LogLevel::kError:
+      prefix = "[ERROR] ";
+      break;
+    case LogLevel::kFatal:
+      prefix = "[FATAL] ";
+      break;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::cerr << prefix << message << "\n";
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << file << ":" << line << ": ";
+}
+
+LogMessage::~LogMessage() {
+  Logger::Global().Log(level_, stream_.str());
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+
+}  // namespace hetdb

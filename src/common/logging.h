@@ -1,0 +1,82 @@
+#ifndef HETDB_COMMON_LOGGING_H_
+#define HETDB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace hetdb {
+
+/// Severity levels for the built-in logger. kFatal aborts the process after
+/// emitting the message.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimal thread-safe logger. The global minimum level defaults to kWarning
+/// so that benchmarks stay quiet; tests and examples can lower it.
+class Logger {
+ public:
+  static Logger& Global();
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  /// Emits one formatted line ("[LEVEL] message") to stderr.
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel min_level_ = LogLevel::kWarning;
+  std::mutex mutex_;
+};
+
+namespace internal_logging {
+
+/// Stream-style collector used by the HETDB_LOG macro; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define HETDB_LOG(level)                                                  \
+  ::hetdb::internal_logging::LogMessage(::hetdb::LogLevel::k##level,      \
+                                        __FILE__, __LINE__)
+
+/// Invariant check that is active in all build types (unlike assert).
+#define HETDB_CHECK(condition)                                       \
+  do {                                                               \
+    if (!(condition)) {                                              \
+      HETDB_LOG(Fatal) << "Check failed: " #condition;               \
+    }                                                                \
+  } while (false)
+
+#define HETDB_CHECK_OK(expr)                                         \
+  do {                                                               \
+    ::hetdb::Status _st = (expr);                                    \
+    if (!_st.ok()) {                                                 \
+      HETDB_LOG(Fatal) << "Status not OK: " << _st.ToString();       \
+    }                                                                \
+  } while (false)
+
+}  // namespace hetdb
+
+#endif  // HETDB_COMMON_LOGGING_H_

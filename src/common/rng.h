@@ -1,0 +1,66 @@
+#ifndef HETDB_COMMON_RNG_H_
+#define HETDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace hetdb {
+
+/// Deterministic, seedable 64-bit PRNG (xorshift128+ seeded via splitmix64).
+///
+/// Used by the SSB/TPC-H data generators and the property-based tests so that
+/// every run of the benchmark suite operates on bit-identical databases.
+/// std::mt19937 would also be deterministic, but its state is large and its
+/// distributions are not guaranteed identical across standard libraries;
+/// this generator is fully self-contained.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 to spread a (possibly small) seed over the full state.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // all-zero state is absorbing
+  }
+
+  /// Uniform over the full 64-bit range.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<int64_t>(Next());  // full range
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_COMMON_RNG_H_

@@ -1,0 +1,172 @@
+#ifndef HETDB_COMMON_STATUS_H_
+#define HETDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hetdb {
+
+/// Machine-readable error categories used across the engine.
+///
+/// `kResourceExhausted` is load-bearing: it is the code returned by the
+/// device heap allocator when a co-processor operator cannot obtain memory,
+/// and the only code the execution engine treats as a recoverable operator
+/// abort (the operator is restarted on the CPU, per Section 2.5.1 of the
+/// paper). All other codes propagate as query failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kInternal,
+  kNotImplemented,
+  kAborted,
+};
+
+/// Returns a human-readable name for `code` (e.g. "ResourceExhausted").
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. HetDB does not throw exceptions across
+/// API boundaries; all fallible operations return `Status` or `Result<T>`.
+///
+/// The OK status carries no allocation; error statuses store a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True iff this status is the recoverable device out-of-memory signal.
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Result<T> holds either a value of type T or an error Status.
+/// Accessing the value of an errored result aborts the process (programming
+/// error); callers must check `ok()` first or use `RETURN_NOT_OK`-style
+/// propagation.
+template <typename T>
+class Result {
+ public:
+  /// Intentionally implicit so `return value;` and `return status;` both work
+  /// in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {
+    assert(!std::get<Status>(value_).ok() &&
+           "Result constructed from OK status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::move(std::get<T>(value_));
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagation helpers. These are macros on purpose: they return early from
+// the enclosing function, which cannot be expressed as a function.
+#define HETDB_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::hetdb::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#define HETDB_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#define HETDB_CONCAT_INNER(x, y) x##y
+#define HETDB_CONCAT(x, y) HETDB_CONCAT_INNER(x, y)
+
+/// HETDB_ASSIGN_OR_RETURN(auto x, MakeX()); — assigns on success, propagates
+/// the error status otherwise.
+#define HETDB_ASSIGN_OR_RETURN(lhs, rexpr) \
+  HETDB_ASSIGN_OR_RETURN_IMPL(HETDB_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+}  // namespace hetdb
+
+#endif  // HETDB_COMMON_STATUS_H_

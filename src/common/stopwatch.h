@@ -1,0 +1,42 @@
+#ifndef HETDB_COMMON_STOPWATCH_H_
+#define HETDB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hetdb {
+
+/// Monotonic wall-clock stopwatch with microsecond resolution.
+///
+/// All engine metrics (workload execution time, transfer time, wasted time)
+/// are measured with this clock. Because the device simulator realizes
+/// modeled durations as actual sleeps, wall-clock time *is* modeled time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Microseconds since construction or the last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_COMMON_STOPWATCH_H_

@@ -1,0 +1,175 @@
+#include "engine/chopping_executor.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hetdb {
+
+ChoppingExecutor::ChoppingExecutor(EngineContext* ctx, int cpu_workers,
+                                   int gpu_workers)
+    : ctx_(ctx), cpu_workers_(cpu_workers), gpu_workers_(gpu_workers) {
+  HETDB_CHECK(cpu_workers_ > 0 && gpu_workers_ > 0);
+  workers_.reserve(cpu_workers_ + gpu_workers_);
+  for (int i = 0; i < cpu_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(ProcessorKind::kCpu); });
+  }
+  for (int i = 0; i < gpu_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(ProcessorKind::kGpu); });
+  }
+}
+
+ChoppingExecutor::~ChoppingExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  ready_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<Result<TablePtr>> ChoppingExecutor::Submit(PlanNodePtr root,
+                                                       RuntimePlacer placer) {
+  auto query = std::make_shared<QueryExec>();
+  query->root = std::move(root);
+  query->placer = std::move(placer);
+  std::future<Result<TablePtr>> future = query->promise.get_future();
+
+  // Build the task graph (one task per operator).
+  struct Builder {
+    QueryExec* query;
+    OpTask* Build(const PlanNodePtr& node, OpTask* parent) {
+      query->tasks.push_back(std::make_unique<OpTask>());
+      OpTask* task = query->tasks.back().get();
+      task->query = query;
+      task->node = node.get();
+      task->parent = parent;
+      task->pending_children.store(static_cast<int>(node->children().size()),
+                                   std::memory_order_relaxed);
+      for (const PlanNodePtr& child : node->children()) {
+        task->children.push_back(Build(child, task));
+      }
+      return task;
+    }
+  };
+  Builder builder{query.get()};
+  builder.Build(query->root, nullptr);
+
+  // Chop: all leaves enter the global operator stream immediately — they
+  // have no dependencies (Figure 10).
+  for (const auto& task : query->tasks) {
+    if (task->children.empty()) ScheduleTask(query, task.get());
+  }
+  return future;
+}
+
+Result<TablePtr> ChoppingExecutor::ExecuteQuery(PlanNodePtr root,
+                                                RuntimePlacer placer) {
+  return Submit(std::move(root), std::move(placer)).get();
+}
+
+void ChoppingExecutor::ScheduleTask(const QueryExecPtr& query, OpTask* task) {
+  std::vector<OperatorResult*> inputs;
+  inputs.reserve(task->children.size());
+  for (OpTask* child : task->children) inputs.push_back(&child->result);
+
+  const ProcessorKind kind = query->placer(*task->node, inputs, *ctx_);
+  task->assigned = kind;
+
+  // Track queue load for HyPE's completion-time estimates. The estimate
+  // includes the kernel only; transfers are second-order for load purposes.
+  size_t input_bytes = 0;
+  for (OperatorResult* input : inputs) input_bytes += input->table_bytes();
+  if (task->node->op() == PlanOp::kScan) {
+    input_bytes = task->node->InputBytes({});
+  }
+  task->load_estimate_micros =
+      ctx_->cost_model().EstimateMicros(kind, task->node->op_class(),
+                                        input_bytes);
+  ctx_->load_tracker().AddPending(kind, task->load_estimate_micros);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // LIFO ready queues: an operator whose children just completed runs
+    // before leaves of queries that have not started yet. This drains
+    // queries depth-first, so the device heap holds the intermediate
+    // results of only ~pool-size queries at a time instead of one
+    // unconsumed result per admitted query — the memory bound that makes
+    // the chopping pool an effective cure for heap contention.
+    ready_queues_[static_cast<int>(kind)].emplace_front(query, task);
+  }
+  ready_cv_.notify_all();
+}
+
+void ChoppingExecutor::WorkerLoop(ProcessorKind kind) {
+  const int queue = static_cast<int>(kind);
+  while (true) {
+    QueryExecPtr query;
+    OpTask* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_cv_.wait(lock, [this, queue] {
+        return shutting_down_ || !ready_queues_[queue].empty();
+      });
+      if (shutting_down_ && ready_queues_[queue].empty()) return;
+      query = std::move(ready_queues_[queue].front().first);
+      task = ready_queues_[queue].front().second;
+      ready_queues_[queue].pop_front();
+    }
+    RunTask(query, task, kind);
+  }
+}
+
+void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
+                               ProcessorKind kind) {
+  ctx_->load_tracker().RemovePending(kind, task->load_estimate_micros);
+  if (query->failed.load(std::memory_order_acquire)) {
+    return;  // sibling already failed the query; drop silently
+  }
+
+  std::vector<OperatorResult*> inputs;
+  inputs.reserve(task->children.size());
+  for (OpTask* child : task->children) inputs.push_back(&child->result);
+
+  Result<ExecutedOperator> executed =
+      ExecuteWithFallback(*task->node, inputs, kind, *ctx_);
+  if (!executed.ok()) {
+    FailQuery(query, executed.status());
+    return;
+  }
+  task->result = std::move(executed).value().result;
+
+  // Free the inputs we just consumed (device allocations, cache pins).
+  for (OpTask* child : task->children) child->result = OperatorResult();
+
+  if (task->parent == nullptr) {
+    // Root finished: deliver the result on the host.
+    if (task->result.location == ProcessorKind::kGpu &&
+        !task->result.base_data) {
+      ctx_->simulator().bus().Transfer(task->result.table_bytes(),
+                                       TransferDirection::kDeviceToHost);
+      task->result.ReleaseDeviceResources();
+    }
+    ctx_->metrics().RecordQueryDone();
+    query->promise.set_value(task->result.table);
+    return;
+  }
+
+  // Notify the parent; the last completing child inserts it into the stream
+  // (Figure 11).
+  if (task->parent->pending_children.fetch_sub(
+          1, std::memory_order_acq_rel) == 1) {
+    ScheduleTask(query, task->parent);
+  }
+}
+
+void ChoppingExecutor::FailQuery(const QueryExecPtr& query,
+                                 const Status& status) {
+  bool expected = false;
+  if (query->failed.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+    query->promise.set_value(status);
+  }
+}
+
+}  // namespace hetdb

@@ -1,0 +1,104 @@
+#ifndef HETDB_ENGINE_CHOPPING_EXECUTOR_H_
+#define HETDB_ENGINE_CHOPPING_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/engine_context.h"
+#include "engine/operator_executor.h"
+#include "operators/plan_node.h"
+
+namespace hetdb {
+
+/// Run-time operator placement callback. Invoked when an operator becomes
+/// ready (all children materialized), with the children's results — so the
+/// placer sees exact input cardinalities and current device residency.
+using RuntimePlacer = std::function<ProcessorKind(
+    const PlanNode& node, const std::vector<OperatorResult*>& inputs,
+    EngineContext& ctx)>;
+
+/// The paper's *query chopping* executor (Section 5.2).
+///
+/// Queries are chopped into their operators: leaf operators enter the global
+/// operator stream immediately; every other operator inserts itself once all
+/// its children have completed. A run-time placer assigns each ready
+/// operator to a processor's *ready queue*, from which that processor's pool
+/// of worker threads pulls work. The pool sizes bound the number of
+/// concurrently *running* operators per processor — the GPU pool size is the
+/// knob that prevents heap contention. Plain run-time placement without
+/// concurrency limiting (Section 4) is this executor with a large GPU pool.
+///
+/// Operators that abort on the device (ResourceExhausted) are restarted on
+/// the CPU by the worker immediately, and — because placement happens at run
+/// time — their successors will see a host-resident input and naturally stay
+/// on the CPU (Figure 8, right side).
+class ChoppingExecutor {
+ public:
+  ChoppingExecutor(EngineContext* ctx, int cpu_workers, int gpu_workers);
+  ~ChoppingExecutor();
+
+  ChoppingExecutor(const ChoppingExecutor&) = delete;
+  ChoppingExecutor& operator=(const ChoppingExecutor&) = delete;
+
+  /// Chops the query and inserts its leaves into the operator stream.
+  std::future<Result<TablePtr>> Submit(PlanNodePtr root, RuntimePlacer placer);
+
+  /// Submit and wait.
+  Result<TablePtr> ExecuteQuery(PlanNodePtr root, RuntimePlacer placer);
+
+  int cpu_workers() const { return cpu_workers_; }
+  int gpu_workers() const { return gpu_workers_; }
+
+ private:
+  struct QueryExec;
+
+  /// One plan operator within one submitted query.
+  struct OpTask {
+    QueryExec* query = nullptr;
+    const PlanNode* node = nullptr;
+    OpTask* parent = nullptr;
+    std::vector<OpTask*> children;
+    std::atomic<int> pending_children{0};
+    OperatorResult result;
+    ProcessorKind assigned = ProcessorKind::kCpu;
+    double load_estimate_micros = 0;
+  };
+
+  struct QueryExec {
+    PlanNodePtr root;
+    RuntimePlacer placer;
+    std::promise<Result<TablePtr>> promise;
+    std::vector<std::unique_ptr<OpTask>> tasks;
+    std::atomic<bool> failed{false};
+  };
+
+  using QueryExecPtr = std::shared_ptr<QueryExec>;
+
+  /// Places a ready task and pushes it into the chosen ready queue.
+  void ScheduleTask(const QueryExecPtr& query, OpTask* task);
+  void WorkerLoop(ProcessorKind kind);
+  void RunTask(const QueryExecPtr& query, OpTask* task, ProcessorKind kind);
+  void FailQuery(const QueryExecPtr& query, const Status& status);
+
+  EngineContext* ctx_;
+  const int cpu_workers_;
+  const int gpu_workers_;
+
+  std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::deque<std::pair<QueryExecPtr, OpTask*>> ready_queues_[2];
+  bool shutting_down_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_ENGINE_CHOPPING_EXECUTOR_H_

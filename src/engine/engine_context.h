@@ -1,0 +1,70 @@
+#ifndef HETDB_ENGINE_ENGINE_CONTEXT_H_
+#define HETDB_ENGINE_ENGINE_CONTEXT_H_
+
+#include <memory>
+
+#include "cache/data_cache.h"
+#include "common/config.h"
+#include "engine/metrics.h"
+#include "hype/cost_model.h"
+#include "hype/load_tracker.h"
+#include "hype/scheduler.h"
+#include "sim/simulator.h"
+#include "storage/database.h"
+
+namespace hetdb {
+
+/// Owns the full runtime state of one HetDB instance: the simulated machine,
+/// the device data cache, the HyPE optimizer state, and workload metrics.
+///
+/// Benchmarks construct one EngineContext per experimental configuration;
+/// executors and placement strategies all operate against it.
+class EngineContext {
+ public:
+  EngineContext(const SystemConfig& config, DatabasePtr database,
+                EvictionPolicy cache_policy = EvictionPolicy::kLfu)
+      : simulator_(std::make_unique<Simulator>(config)),
+        cache_(std::make_unique<DataCache>(config.device_cache_bytes,
+                                           cache_policy, simulator_.get(),
+                                           config.compress_device_cache)),
+        cost_model_(std::make_unique<CostModel>(simulator_.get())),
+        load_tracker_(std::make_unique<LoadTracker>()),
+        scheduler_(std::make_unique<HypeScheduler>(
+            cost_model_.get(), load_tracker_.get(), simulator_.get())),
+        metrics_(std::make_unique<WorkloadMetrics>()),
+        database_(std::move(database)) {}
+
+  EngineContext(const EngineContext&) = delete;
+  EngineContext& operator=(const EngineContext&) = delete;
+
+  Simulator& simulator() { return *simulator_; }
+  DataCache& cache() { return *cache_; }
+  CostModel& cost_model() { return *cost_model_; }
+  LoadTracker& load_tracker() { return *load_tracker_; }
+  HypeScheduler& scheduler() { return *scheduler_; }
+  WorkloadMetrics& metrics() { return *metrics_; }
+  const DatabasePtr& database() const { return database_; }
+  const SystemConfig& config() const { return simulator_->config(); }
+
+  /// Clears all per-run statistics (bus, allocator, cache, metrics) while
+  /// keeping cache contents and learned cost models.
+  void ResetRunStats() {
+    simulator_->bus().ResetStats();
+    simulator_->device_heap().ResetStats();
+    cache_->ResetStats();
+    metrics_->Reset();
+  }
+
+ private:
+  std::unique_ptr<Simulator> simulator_;
+  std::unique_ptr<DataCache> cache_;
+  std::unique_ptr<CostModel> cost_model_;
+  std::unique_ptr<LoadTracker> load_tracker_;
+  std::unique_ptr<HypeScheduler> scheduler_;
+  std::unique_ptr<WorkloadMetrics> metrics_;
+  DatabasePtr database_;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_ENGINE_ENGINE_CONTEXT_H_

@@ -1,0 +1,70 @@
+#ifndef HETDB_ENGINE_METRICS_H_
+#define HETDB_ENGINE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hetdb {
+
+/// Counters collected over one workload run. These back the paper's
+/// evaluation metrics:
+///
+///  * `gpu_operator_aborts` — Figure 13 (aborted device operators);
+///  * `wasted_micros` — Figure 20: total time from operator start to abort,
+///    summed over all aborted device operators (includes input transfers and
+///    any kernel work done before the failing allocation);
+///  * transfer time/bytes are read from the PcieBus (Figures 6, 15, 19).
+class WorkloadMetrics {
+ public:
+  WorkloadMetrics() = default;
+
+  WorkloadMetrics(const WorkloadMetrics&) = delete;
+  WorkloadMetrics& operator=(const WorkloadMetrics&) = delete;
+
+  void RecordGpuAbort(int64_t wasted_micros) {
+    gpu_operator_aborts_.fetch_add(1, std::memory_order_relaxed);
+    wasted_micros_.fetch_add(wasted_micros, std::memory_order_relaxed);
+  }
+  void RecordOperator(bool on_gpu) {
+    (on_gpu ? gpu_operators_ : cpu_operators_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordQueryDone() {
+    queries_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t gpu_operator_aborts() const {
+    return gpu_operator_aborts_.load(std::memory_order_relaxed);
+  }
+  int64_t wasted_micros() const {
+    return wasted_micros_.load(std::memory_order_relaxed);
+  }
+  uint64_t cpu_operators() const {
+    return cpu_operators_.load(std::memory_order_relaxed);
+  }
+  uint64_t gpu_operators() const {
+    return gpu_operators_.load(std::memory_order_relaxed);
+  }
+  uint64_t queries_completed() const {
+    return queries_completed_.load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    gpu_operator_aborts_.store(0, std::memory_order_relaxed);
+    wasted_micros_.store(0, std::memory_order_relaxed);
+    cpu_operators_.store(0, std::memory_order_relaxed);
+    gpu_operators_.store(0, std::memory_order_relaxed);
+    queries_completed_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> gpu_operator_aborts_{0};
+  std::atomic<int64_t> wasted_micros_{0};
+  std::atomic<uint64_t> cpu_operators_{0};
+  std::atomic<uint64_t> gpu_operators_{0};
+  std::atomic<uint64_t> queries_completed_{0};
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_ENGINE_METRICS_H_

@@ -1,0 +1,188 @@
+#include "engine/operator_executor.h"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace hetdb {
+
+namespace {
+
+/// CPU execution: marshal device-resident inputs back to the host, run the
+/// kernel, charge modeled CPU time (occupying a CPU slot).
+Result<OperatorResult> ExecuteOnCpu(const PlanNode& node,
+                                    const std::vector<OperatorResult*>& inputs,
+                                    EngineContext& ctx) {
+  std::vector<TablePtr> input_tables;
+  input_tables.reserve(inputs.size());
+  for (OperatorResult* input : inputs) {
+    HETDB_CHECK(input != nullptr && input->table != nullptr);
+    if (input->location == ProcessorKind::kGpu && !input->base_data) {
+      // Intermediate result produced on the device: copy it back. This is
+      // the cost a compile-time plan pays when a device operator aborted and
+      // its successor was left on the other processor (Figure 8).
+      ctx.simulator().bus().Transfer(input->table_bytes(),
+                                     TransferDirection::kDeviceToHost);
+      input->ReleaseDeviceResources();
+      input->location = ProcessorKind::kCpu;
+    }
+    input_tables.push_back(input->table);
+  }
+
+  Stopwatch kernel_watch;
+  HETDB_ASSIGN_OR_RETURN(TablePtr output, node.ComputeResult(input_tables));
+
+  if (node.op() != PlanOp::kScan) {
+    const size_t input_bytes = node.InputBytes(input_tables);
+    ctx.simulator().ChargeCompute(ProcessorKind::kCpu, node.op_class(),
+                                  input_bytes);
+    // HyPE learns from *measured* durations (normalized back to modeled
+    // units), so the model captures slot contention and queueing that the
+    // analytical bootstrap cannot know about.
+    ctx.cost_model().Observe(
+        ProcessorKind::kCpu, node.op_class(), input_bytes,
+        kernel_watch.ElapsedMicros() / ctx.config().time_scale);
+  }
+  ctx.metrics().RecordOperator(/*on_gpu=*/false);
+
+  OperatorResult result;
+  result.table = std::move(output);
+  result.location = ProcessorKind::kCpu;
+  result.base_data = node.op() == PlanOp::kScan;
+  return result;
+}
+
+/// Device execution with staged allocation; see the header for the phases.
+Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
+                                    const std::vector<OperatorResult*>& inputs,
+                                    EngineContext& ctx) {
+  Stopwatch abort_watch;
+  DeviceAllocator& heap = ctx.simulator().device_heap();
+
+  auto abort_with = [&](const Status& status) -> Status {
+    ctx.metrics().RecordGpuAbort(abort_watch.ElapsedMicros());
+    return status;
+  };
+
+  OperatorResult result;
+  result.location = ProcessorKind::kGpu;
+
+  // --- Scans: acquire base columns through the data cache -------------------
+  if (node.op() == PlanOp::kScan) {
+    const auto& scan = static_cast<const ScanNode&>(node);
+    for (const auto& [key, column] : scan.base_columns()) {
+      DataCache::Access access = ctx.cache().RequireOnDevice(column, key);
+      if (access.resident) {
+        result.cache_leases.push_back(std::move(access.lease));
+        continue;
+      }
+      // Cache cannot hold the column: it was transferred into device heap
+      // for this operator only (the thrashing path). Hold the bytes.
+      Result<DeviceAllocation> allocation = heap.Allocate(
+          ctx.cache().EntryBytes(*column), "transient input " + key);
+      if (!allocation.ok()) return abort_with(allocation.status());
+      result.device_allocations.push_back(std::move(allocation).value());
+    }
+    HETDB_ASSIGN_OR_RETURN(TablePtr output, node.ComputeResult({}));
+    result.table = std::move(output);
+    result.base_data = true;
+    ctx.metrics().RecordOperator(/*on_gpu=*/true);
+    return result;
+  }
+
+  // --- Phase 1: inputs -------------------------------------------------------
+  std::vector<TablePtr> input_tables;
+  input_tables.reserve(inputs.size());
+  for (OperatorResult* input : inputs) {
+    HETDB_CHECK(input != nullptr && input->table != nullptr);
+    if (input->location != ProcessorKind::kGpu) {
+      // Host-resident input: allocate a device buffer and ship it over.
+      Result<DeviceAllocation> allocation = heap.Allocate(
+          input->table_bytes(), "device input for " + node.label());
+      if (!allocation.ok()) return abort_with(allocation.status());
+      result.device_allocations.push_back(std::move(allocation).value());
+      ctx.simulator().bus().Transfer(input->table_bytes(),
+                                     TransferDirection::kHostToDevice);
+    }
+    input_tables.push_back(input->table);
+  }
+
+  // --- Phase 2: intermediate data structures ---------------------------------
+  const size_t intermediate_bytes = node.IntermediateDeviceBytes(input_tables);
+  DeviceAllocation intermediates;
+  if (intermediate_bytes > 0) {
+    Result<DeviceAllocation> allocation =
+        heap.Allocate(intermediate_bytes, "intermediates for " + node.label());
+    if (!allocation.ok()) return abort_with(allocation.status());
+    intermediates = std::move(allocation).value();
+  }
+
+  // --- Phase 3: kernel --------------------------------------------------------
+  Stopwatch kernel_watch;
+  HETDB_ASSIGN_OR_RETURN(TablePtr output, node.ComputeResult(input_tables));
+  const size_t input_bytes = node.InputBytes(input_tables);
+  ctx.simulator().ChargeCompute(ProcessorKind::kGpu, node.op_class(),
+                                input_bytes);
+  ctx.cost_model().Observe(
+      ProcessorKind::kGpu, node.op_class(), input_bytes,
+      kernel_watch.ElapsedMicros() / ctx.config().time_scale);
+
+  // --- Phase 4: result buffer (exact size, known only now) --------------------
+  const size_t output_bytes = output->data_bytes();
+  if (output_bytes > 0) {
+    Result<DeviceAllocation> allocation =
+        heap.Allocate(output_bytes, "result of " + node.label());
+    // Failing here wastes the whole kernel — this is what makes aborts late
+    // in an operator expensive (Figure 20's wasted time).
+    if (!allocation.ok()) return abort_with(allocation.status());
+    result.device_allocations.push_back(std::move(allocation).value());
+  }
+  intermediates.Release();
+
+  result.table = std::move(output);
+  ctx.metrics().RecordOperator(/*on_gpu=*/true);
+  return result;
+}
+
+}  // namespace
+
+Result<OperatorResult> ExecuteOperator(const PlanNode& node,
+                                       const std::vector<OperatorResult*>& inputs,
+                                       ProcessorKind processor,
+                                       EngineContext& ctx) {
+  if (processor == ProcessorKind::kCpu) {
+    return ExecuteOnCpu(node, inputs, ctx);
+  }
+  return ExecuteOnGpu(node, inputs, ctx);
+}
+
+Result<ExecutedOperator> ExecuteWithFallback(
+    const PlanNode& node, const std::vector<OperatorResult*>& inputs,
+    ProcessorKind processor, EngineContext& ctx) {
+  Result<OperatorResult> attempt = ExecuteOperator(node, inputs, processor, ctx);
+  if (attempt.ok()) {
+    ExecutedOperator executed;
+    executed.result = std::move(attempt).value();
+    executed.ran_on = processor;
+    executed.aborted = false;
+    return executed;
+  }
+  if (processor == ProcessorKind::kGpu &&
+      attempt.status().IsResourceExhausted()) {
+    // The paper's fault tolerance: restart only the failed operator on the
+    // CPU; already-computed child results are preserved (Section 2.5.1).
+    Result<OperatorResult> retry =
+        ExecuteOperator(node, inputs, ProcessorKind::kCpu, ctx);
+    if (!retry.ok()) return retry.status();
+    ExecutedOperator executed;
+    executed.result = std::move(retry).value();
+    executed.ran_on = ProcessorKind::kCpu;
+    executed.aborted = true;
+    return executed;
+  }
+  return attempt.status();
+}
+
+}  // namespace hetdb

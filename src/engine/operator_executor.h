@@ -1,0 +1,79 @@
+#ifndef HETDB_ENGINE_OPERATOR_EXECUTOR_H_
+#define HETDB_ENGINE_OPERATOR_EXECUTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "cache/data_cache.h"
+#include "engine/engine_context.h"
+#include "operators/plan_node.h"
+#include "sim/device_allocator.h"
+#include "sim/simulator.h"
+
+namespace hetdb {
+
+/// Materialized output of one executed operator, together with the resources
+/// that keep it device-resident (cache leases for base columns, heap
+/// allocations for transient inputs and intermediate results).
+///
+/// The executor keeps a child's OperatorResult alive until its parent has
+/// consumed it, then drops it — releasing device memory and cache pins.
+struct OperatorResult {
+  TablePtr table;
+  /// Where the data lives. kGpu means the authoritative copy is on the
+  /// device (a CPU consumer must pay a device-to-host transfer) — except for
+  /// base data, which always also exists in host memory.
+  ProcessorKind location = ProcessorKind::kCpu;
+  /// True for scan outputs: base columns always have a host copy, so a CPU
+  /// consumer never pays a transfer even if the scan ran on the device.
+  bool base_data = false;
+
+  std::vector<DataCache::Lease> cache_leases;
+  std::vector<DeviceAllocation> device_allocations;
+
+  size_t table_bytes() const { return table == nullptr ? 0 : table->data_bytes(); }
+
+  /// Drops device residency (allocations + leases), keeping the host table.
+  void ReleaseDeviceResources() {
+    device_allocations.clear();
+    cache_leases.clear();
+  }
+};
+
+/// Executes `node` on `processor` over the children's results.
+///
+/// CPU path: if a child result lives on the device (and is not base data),
+/// pays the device-to-host transfer; then runs the kernel and charges CPU
+/// time through the simulator.
+///
+/// Device path (in order, mirroring Section 4.1 — "operators typically start
+/// with the allocation of memory for their input data and data structures"):
+///   1. acquire inputs — cache lookup/insert for base columns (scans),
+///      heap allocation + host-to-device transfer for host-resident inputs;
+///   2. allocate intermediate data structures from the device heap;
+///   3. run the kernel, charging device time;
+///   4. allocate the result buffer (actual result size).
+/// Any failing allocation aborts the operator with ResourceExhausted; the
+/// elapsed time up to the abort is recorded as *wasted time* and all partial
+/// allocations are rolled back. The caller decides how to recover (the
+/// engine's fallback restarts the operator on the CPU, Section 2.5.1).
+Result<OperatorResult> ExecuteOperator(const PlanNode& node,
+                                       const std::vector<OperatorResult*>& inputs,
+                                       ProcessorKind processor,
+                                       EngineContext& ctx);
+
+/// ExecuteOperator with the paper's fault handling: on ResourceExhausted the
+/// abort is recorded and the operator transparently restarts on the CPU.
+/// Returns the result together with the processor that finally ran it.
+struct ExecutedOperator {
+  OperatorResult result;
+  ProcessorKind ran_on = ProcessorKind::kCpu;
+  bool aborted = false;  ///< true if the device attempt failed and fell back
+};
+Result<ExecutedOperator> ExecuteWithFallback(
+    const PlanNode& node, const std::vector<OperatorResult*>& inputs,
+    ProcessorKind processor, EngineContext& ctx);
+
+}  // namespace hetdb
+
+#endif  // HETDB_ENGINE_OPERATOR_EXECUTOR_H_

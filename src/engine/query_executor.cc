@@ -1,0 +1,68 @@
+#include "engine/query_executor.h"
+
+#include <future>
+#include <vector>
+
+namespace hetdb {
+
+Result<TablePtr> QueryExecutor::Execute(const PlanNodePtr& root,
+                                        const PlacementMap& placement) {
+  HETDB_ASSIGN_OR_RETURN(OperatorResult result, ExecuteNode(root, placement));
+  ctx_->metrics().RecordQueryDone();
+  // If the final result still lives on the device, the user receives it on
+  // the host: pay the copy-back.
+  if (result.location == ProcessorKind::kGpu && !result.base_data) {
+    ctx_->simulator().bus().Transfer(result.table_bytes(),
+                                     TransferDirection::kDeviceToHost);
+    result.ReleaseDeviceResources();
+  }
+  return result.table;
+}
+
+Result<OperatorResult> QueryExecutor::ExecuteNode(
+    const PlanNodePtr& node, const PlacementMap& placement) {
+  const auto& children = node->children();
+  std::vector<OperatorResult> child_results;
+  child_results.reserve(children.size());
+
+  if (children.size() <= 1) {
+    for (const PlanNodePtr& child : children) {
+      HETDB_ASSIGN_OR_RETURN(OperatorResult r, ExecuteNode(child, placement));
+      child_results.push_back(std::move(r));
+    }
+  } else {
+    // Inter-operator parallelism: binary operators evaluate both subtrees
+    // concurrently.
+    std::vector<std::future<Result<OperatorResult>>> futures;
+    futures.reserve(children.size());
+    for (const PlanNodePtr& child : children) {
+      futures.push_back(std::async(std::launch::async, [this, &child,
+                                                        &placement] {
+        return ExecuteNode(child, placement);
+      }));
+    }
+    Status first_error;
+    for (auto& future : futures) {
+      Result<OperatorResult> r = future.get();
+      if (!r.ok() && first_error.ok()) first_error = r.status();
+      if (r.ok()) child_results.push_back(std::move(r).value());
+    }
+    if (!first_error.ok()) return first_error;
+  }
+
+  std::vector<OperatorResult*> inputs;
+  inputs.reserve(child_results.size());
+  for (OperatorResult& r : child_results) inputs.push_back(&r);
+
+  auto it = placement.find(node.get());
+  const ProcessorKind processor =
+      it != placement.end() ? it->second : ProcessorKind::kCpu;
+
+  HETDB_ASSIGN_OR_RETURN(ExecutedOperator executed,
+                         ExecuteWithFallback(*node, inputs, processor, *ctx_));
+  // child_results go out of scope here, releasing device residency of the
+  // consumed inputs.
+  return std::move(executed.result);
+}
+
+}  // namespace hetdb

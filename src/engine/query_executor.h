@@ -1,0 +1,44 @@
+#ifndef HETDB_ENGINE_QUERY_EXECUTOR_H_
+#define HETDB_ENGINE_QUERY_EXECUTOR_H_
+
+#include <unordered_map>
+
+#include "engine/engine_context.h"
+#include "engine/operator_executor.h"
+#include "operators/plan_node.h"
+
+namespace hetdb {
+
+/// Compile-time operator placement: one processor per plan node, fixed
+/// before execution starts.
+using PlacementMap = std::unordered_map<const PlanNode*, ProcessorKind>;
+
+/// Operator-at-a-time executor for compile-time-placed plans.
+///
+/// Walks the plan bottom-up; children of an n-ary operator are evaluated in
+/// parallel (CoGaDB's inter-operator parallelism, Section 2.5). Each
+/// operator runs on its compile-time processor with the standard fault
+/// handling — and, crucially, an abort does *not* change the placement of
+/// successor operators; the resulting ping-pong transfers are the
+/// compile-time weakness the paper illustrates in Figure 8.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(EngineContext* ctx) : ctx_(ctx) {}
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Executes the plan; nodes missing from `placement` run on the CPU.
+  Result<TablePtr> Execute(const PlanNodePtr& root,
+                           const PlacementMap& placement);
+
+ private:
+  Result<OperatorResult> ExecuteNode(const PlanNodePtr& node,
+                                     const PlacementMap& placement);
+
+  EngineContext* ctx_;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_ENGINE_QUERY_EXECUTOR_H_

@@ -1,0 +1,52 @@
+#include "hype/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetdb {
+
+void CostModel::Fit::Line(double* a, double* b) const {
+  const double denom = n * sum_xx - sum_x * sum_x;
+  if (n < 2 || std::abs(denom) < 1e-9) {
+    *a = n > 0 ? sum_y / n : 0;
+    *b = 0;
+    return;
+  }
+  *b = (n * sum_xy - sum_x * sum_y) / denom;
+  *a = (sum_y - *b * sum_x) / n;
+}
+
+double CostModel::EstimateMicros(ProcessorKind processor, OpClass op_class,
+                                 size_t input_bytes) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Fit& fit = fits_[Index(processor, op_class)];
+    if (fit.Ready()) {
+      double a = 0, b = 0;
+      fit.Line(&a, &b);
+      const double estimate = a + b * static_cast<double>(input_bytes);
+      return std::max(estimate, 0.0);
+    }
+  }
+  return simulator_->EstimateComputeMicros(processor, op_class, input_bytes);
+}
+
+void CostModel::Observe(ProcessorKind processor, OpClass op_class,
+                        size_t input_bytes, double micros) {
+  const double x = static_cast<double>(input_bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Fit& fit = fits_[Index(processor, op_class)];
+  fit.n += 1;
+  fit.sum_x += x;
+  fit.sum_y += micros;
+  fit.sum_xx += x * x;
+  fit.sum_xy += x * micros;
+}
+
+uint64_t CostModel::ObservationCount(ProcessorKind processor,
+                                     OpClass op_class) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<uint64_t>(fits_[Index(processor, op_class)].n);
+}
+
+}  // namespace hetdb

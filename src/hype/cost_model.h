@@ -1,0 +1,68 @@
+#ifndef HETDB_HYPE_COST_MODEL_H_
+#define HETDB_HYPE_COST_MODEL_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "sim/simulator.h"
+
+namespace hetdb {
+
+/// HyPE-style learned cost model (Breß et al., "Efficient co-processor
+/// utilization in database query processing").
+///
+/// For every (processor, operator-class) pair the model maintains an
+/// online least-squares fit  cost_us = a + b * input_bytes  over observed
+/// executions. Until a pair has seen `kMinObservations` samples the model
+/// answers with the simulator's analytical estimate (the hardware-oblivious
+/// bootstrap), after which learned estimates take over. This mirrors HyPE's
+/// design: no hardware profile is required up front, the engine learns the
+/// machine while processing queries.
+class CostModel {
+ public:
+  explicit CostModel(Simulator* simulator) : simulator_(simulator) {}
+
+  CostModel(const CostModel&) = delete;
+  CostModel& operator=(const CostModel&) = delete;
+
+  /// Estimated kernel duration in microseconds.
+  double EstimateMicros(ProcessorKind processor, OpClass op_class,
+                        size_t input_bytes) const;
+
+  /// Records an observed execution for online learning.
+  void Observe(ProcessorKind processor, OpClass op_class, size_t input_bytes,
+               double micros);
+
+  /// Number of observations for a pair (diagnostics/tests).
+  uint64_t ObservationCount(ProcessorKind processor, OpClass op_class) const;
+
+  static constexpr int kMinObservations = 5;
+
+ private:
+  struct Fit {
+    // Running sums for least squares on (x = bytes, y = micros).
+    double n = 0, sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+
+    bool Ready() const { return n >= kMinObservations; }
+    /// Slope/intercept of the fitted line; falls back to the mean when the
+    /// inputs are degenerate (all x equal).
+    void Line(double* a, double* b) const;
+  };
+
+  static constexpr int kNumProcessors = 2;
+  static constexpr int kNumOpClasses = 6;
+
+  static int Index(ProcessorKind processor, OpClass op_class) {
+    return static_cast<int>(processor) * kNumOpClasses +
+           static_cast<int>(op_class);
+  }
+
+  Simulator* simulator_;
+  mutable std::mutex mutex_;
+  std::array<Fit, kNumProcessors * kNumOpClasses> fits_;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_HYPE_COST_MODEL_H_

@@ -1,0 +1,84 @@
+#include "operators/expression.h"
+
+#include <sstream>
+
+namespace hetdb {
+
+std::string ValueToString(const Value& value) {
+  std::ostringstream os;
+  if (std::holds_alternative<int64_t>(value)) {
+    os << std::get<int64_t>(value);
+  } else if (std::holds_alternative<double>(value)) {
+    os << std::get<double>(value);
+  } else {
+    os << "'" << std::get<std::string>(value) << "'";
+  }
+  return os.str();
+}
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kBetween:
+      return "between";
+  }
+  return "?";
+}
+
+std::string Predicate::ToString() const {
+  std::ostringstream os;
+  os << column << " " << CompareOpToString(op) << " " << ValueToString(value);
+  if (op == CompareOp::kBetween) {
+    os << " and " << ValueToString(value2);
+  }
+  return os.str();
+}
+
+std::string Disjunction::ToString() const {
+  std::ostringstream os;
+  if (atoms.size() > 1) os << "(";
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) os << " or ";
+    os << atoms[i].ToString();
+  }
+  if (atoms.size() > 1) os << ")";
+  return os.str();
+}
+
+std::string ConjunctiveFilter::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i > 0) os << " and ";
+    os << conjuncts[i].ToString();
+  }
+  return os.str();
+}
+
+const char* AggregateFnToString(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kSum:
+      return "sum";
+    case AggregateFn::kCount:
+      return "count";
+    case AggregateFn::kMin:
+      return "min";
+    case AggregateFn::kMax:
+      return "max";
+    case AggregateFn::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+}  // namespace hetdb

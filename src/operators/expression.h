@@ -1,0 +1,150 @@
+#ifndef HETDB_OPERATORS_EXPRESSION_H_
+#define HETDB_OPERATORS_EXPRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hetdb {
+
+/// A literal constant in a predicate. Dates are encoded as int64 yyyymmdd.
+using Value = std::variant<int64_t, double, std::string>;
+
+std::string ValueToString(const Value& value);
+
+/// Comparison operators for scan/selection predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kBetween };
+
+const char* CompareOpToString(CompareOp op);
+
+/// One atomic predicate: `column <op> value` or
+/// `column between value and value2` (inclusive on both ends, as in SQL).
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+  Value value2;  // only used by kBetween
+
+  static Predicate Eq(std::string column, Value v) {
+    return {std::move(column), CompareOp::kEq, std::move(v), {}};
+  }
+  static Predicate Ne(std::string column, Value v) {
+    return {std::move(column), CompareOp::kNe, std::move(v), {}};
+  }
+  static Predicate Lt(std::string column, Value v) {
+    return {std::move(column), CompareOp::kLt, std::move(v), {}};
+  }
+  static Predicate Le(std::string column, Value v) {
+    return {std::move(column), CompareOp::kLe, std::move(v), {}};
+  }
+  static Predicate Gt(std::string column, Value v) {
+    return {std::move(column), CompareOp::kGt, std::move(v), {}};
+  }
+  static Predicate Ge(std::string column, Value v) {
+    return {std::move(column), CompareOp::kGe, std::move(v), {}};
+  }
+  static Predicate Between(std::string column, Value lo, Value hi) {
+    return {std::move(column), CompareOp::kBetween, std::move(lo),
+            std::move(hi)};
+  }
+
+  std::string ToString() const;
+};
+
+/// A disjunction of atoms, e.g. `(c_city = 'A' OR c_city = 'B')` (SSB Q3.3).
+struct Disjunction {
+  std::vector<Predicate> atoms;
+
+  Disjunction() = default;
+  Disjunction(std::initializer_list<Predicate> list) : atoms(list) {}
+  explicit Disjunction(Predicate p) { atoms.push_back(std::move(p)); }
+
+  std::string ToString() const;
+};
+
+/// Conjunctive normal form filter condition: AND over OR-groups. This covers
+/// every filter in the SSB and the supported TPC-H subset.
+struct ConjunctiveFilter {
+  std::vector<Disjunction> conjuncts;
+
+  ConjunctiveFilter() = default;
+  ConjunctiveFilter(std::initializer_list<Disjunction> list)
+      : conjuncts(list) {}
+
+  /// Convenience: AND of simple atoms.
+  static ConjunctiveFilter And(std::vector<Predicate> predicates) {
+    ConjunctiveFilter filter;
+    for (auto& p : predicates) {
+      filter.conjuncts.emplace_back(Disjunction(std::move(p)));
+    }
+    return filter;
+  }
+
+  bool empty() const { return conjuncts.empty(); }
+  std::string ToString() const;
+};
+
+/// Binary arithmetic over two columns or a column and a constant, producing
+/// a new column (e.g. `lo_extendedprice * lo_discount` for SSB Q1 revenue).
+struct ArithmeticExpr {
+  /// kRsub computes `right - left` (constant-minus-column, e.g.
+  /// `100 - l_discount` in the TPC-H revenue expression).
+  enum class Op { kAdd, kSub, kMul, kDiv, kRsub };
+
+  std::string output_name;
+  Op op = Op::kMul;
+  std::string left_column;
+  std::string right_column;  // empty => use right_constant
+  double right_constant = 0.0;
+
+  static ArithmeticExpr ColumnOp(std::string output, Op op, std::string left,
+                                 std::string right) {
+    ArithmeticExpr e;
+    e.output_name = std::move(output);
+    e.op = op;
+    e.left_column = std::move(left);
+    e.right_column = std::move(right);
+    return e;
+  }
+  static ArithmeticExpr ConstantOp(std::string output, Op op, std::string left,
+                                   double constant) {
+    ArithmeticExpr e;
+    e.output_name = std::move(output);
+    e.op = op;
+    e.left_column = std::move(left);
+    e.right_constant = constant;
+    return e;
+  }
+  /// output = constant - column.
+  static ArithmeticExpr ConstantMinusColumn(std::string output, double constant,
+                                            std::string column) {
+    return ConstantOp(std::move(output), Op::kRsub, std::move(column),
+                      constant);
+  }
+};
+
+/// Aggregate functions supported by the group-by operator.
+enum class AggregateFn { kSum, kCount, kMin, kMax, kAvg };
+
+const char* AggregateFnToString(AggregateFn fn);
+
+/// One aggregate: `fn(input_column) AS output_name`. For kCount the input
+/// column may be empty (COUNT(*)).
+struct AggregateSpec {
+  AggregateFn fn = AggregateFn::kSum;
+  std::string input_column;
+  std::string output_name;
+};
+
+/// One ORDER BY key.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_OPERATORS_EXPRESSION_H_

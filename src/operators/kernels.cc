@@ -1,0 +1,587 @@
+#include "operators/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace hetdb {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Predicate evaluation
+// ---------------------------------------------------------------------------
+
+template <typename T, typename U>
+bool CompareValues(T lhs, CompareOp op, U rhs, U rhs2) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kBetween:
+      return lhs >= rhs && lhs <= rhs2;
+  }
+  return false;
+}
+
+Result<double> ValueAsDouble(const Value& value) {
+  if (std::holds_alternative<int64_t>(value)) {
+    return static_cast<double>(std::get<int64_t>(value));
+  }
+  if (std::holds_alternative<double>(value)) return std::get<double>(value);
+  return Status::InvalidArgument("expected numeric constant, got string");
+}
+
+Result<int64_t> ValueAsInt64(const Value& value) {
+  if (std::holds_alternative<int64_t>(value)) return std::get<int64_t>(value);
+  if (std::holds_alternative<double>(value)) {
+    return static_cast<int64_t>(std::get<double>(value));
+  }
+  return Status::InvalidArgument("expected numeric constant, got string");
+}
+
+/// Ors the rows matching `atom` into `mask`.
+Status EvalAtomInto(const Table& input, const Predicate& atom,
+                    std::vector<uint8_t>* mask) {
+  HETDB_ASSIGN_OR_RETURN(ColumnPtr column, input.GetColumn(atom.column));
+  const size_t n = column->num_rows();
+
+  switch (column->type()) {
+    case DataType::kInt32: {
+      const auto& values = static_cast<const Int32Column&>(*column).values();
+      HETDB_ASSIGN_OR_RETURN(int64_t rhs, ValueAsInt64(atom.value));
+      int64_t rhs2 = 0;
+      if (atom.op == CompareOp::kBetween) {
+        HETDB_ASSIGN_OR_RETURN(rhs2, ValueAsInt64(atom.value2));
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (CompareValues<int64_t>(values[i], atom.op, rhs, rhs2)) {
+          (*mask)[i] = 1;
+        }
+      }
+      return Status::OK();
+    }
+    case DataType::kInt64: {
+      const auto& values = static_cast<const Int64Column&>(*column).values();
+      HETDB_ASSIGN_OR_RETURN(int64_t rhs, ValueAsInt64(atom.value));
+      int64_t rhs2 = 0;
+      if (atom.op == CompareOp::kBetween) {
+        HETDB_ASSIGN_OR_RETURN(rhs2, ValueAsInt64(atom.value2));
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (CompareValues<int64_t>(values[i], atom.op, rhs, rhs2)) {
+          (*mask)[i] = 1;
+        }
+      }
+      return Status::OK();
+    }
+    case DataType::kDouble: {
+      const auto& values = static_cast<const DoubleColumn&>(*column).values();
+      HETDB_ASSIGN_OR_RETURN(double rhs, ValueAsDouble(atom.value));
+      double rhs2 = 0;
+      if (atom.op == CompareOp::kBetween) {
+        HETDB_ASSIGN_OR_RETURN(rhs2, ValueAsDouble(atom.value2));
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (CompareValues<double>(values[i], atom.op, rhs, rhs2)) {
+          (*mask)[i] = 1;
+        }
+      }
+      return Status::OK();
+    }
+    case DataType::kString: {
+      const auto& str = static_cast<const StringColumn&>(*column);
+      if (!std::holds_alternative<std::string>(atom.value)) {
+        return Status::InvalidArgument("string column '" + atom.column +
+                                       "' compared with numeric constant");
+      }
+      const std::string& rhs = std::get<std::string>(atom.value);
+      const auto& codes = str.codes();
+      // Translate the string predicate into an equivalent predicate over
+      // dictionary codes. Equality works on any dictionary; range predicates
+      // need an order-preserving one.
+      if (atom.op == CompareOp::kEq || atom.op == CompareOp::kNe) {
+        Result<int32_t> code = str.CodeFor(rhs);
+        if (!code.ok()) {
+          // Constant not in the dictionary: Eq matches nothing, Ne all rows.
+          if (atom.op == CompareOp::kNe) {
+            std::fill(mask->begin(), mask->end(), 1);
+          }
+          return Status::OK();
+        }
+        const int32_t target = code.value();
+        if (atom.op == CompareOp::kEq) {
+          for (size_t i = 0; i < n; ++i) {
+            if (codes[i] == target) (*mask)[i] = 1;
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            if (codes[i] != target) (*mask)[i] = 1;
+          }
+        }
+        return Status::OK();
+      }
+      if (!str.order_preserving()) {
+        return Status::InvalidArgument(
+            "range predicate on non-order-preserving dictionary column '" +
+            atom.column + "'");
+      }
+      // Half-open bounds over codes: [lower_bound(x), upper_bound(y)).
+      int32_t lo = 0;
+      int32_t hi = static_cast<int32_t>(str.dictionary().size());
+      switch (atom.op) {
+        case CompareOp::kLt:
+          hi = str.LowerBoundCode(rhs);
+          break;
+        case CompareOp::kLe:
+          hi = str.UpperBoundCode(rhs);
+          break;
+        case CompareOp::kGt:
+          lo = str.UpperBoundCode(rhs);
+          break;
+        case CompareOp::kGe:
+          lo = str.LowerBoundCode(rhs);
+          break;
+        case CompareOp::kBetween: {
+          if (!std::holds_alternative<std::string>(atom.value2)) {
+            return Status::InvalidArgument("between on string column '" +
+                                           atom.column +
+                                           "' needs string bounds");
+          }
+          lo = str.LowerBoundCode(rhs);
+          hi = str.UpperBoundCode(std::get<std::string>(atom.value2));
+          break;
+        }
+        default:
+          return Status::Internal("unhandled string compare op");
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (codes[i] >= lo && codes[i] < hi) (*mask)[i] = 1;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled column type");
+}
+
+/// Reads an integer join key; fatal if the column is not integer-typed.
+int64_t IntKeyAt(const Column& column, size_t row) {
+  if (column.type() == DataType::kInt32) {
+    return static_cast<const Int32Column&>(column).value(row);
+  }
+  HETDB_CHECK(column.type() == DataType::kInt64);
+  return static_cast<const Int64Column&>(column).value(row);
+}
+
+/// Copies `rows` of `source` into a fresh column. The output is named
+/// `name_override` when non-empty, `source.name()` otherwise.
+ColumnPtr GatherColumn(const Column& source, const std::vector<uint32_t>& rows,
+                       const std::string& name_override = "") {
+  const std::string& name =
+      name_override.empty() ? source.name() : name_override;
+  switch (source.type()) {
+    case DataType::kInt32: {
+      const auto& values = static_cast<const Int32Column&>(source).values();
+      std::vector<int32_t> out;
+      out.reserve(rows.size());
+      for (uint32_t r : rows) out.push_back(values[r]);
+      return std::make_shared<Int32Column>(name, std::move(out));
+    }
+    case DataType::kInt64: {
+      const auto& values = static_cast<const Int64Column&>(source).values();
+      std::vector<int64_t> out;
+      out.reserve(rows.size());
+      for (uint32_t r : rows) out.push_back(values[r]);
+      return std::make_shared<Int64Column>(name, std::move(out));
+    }
+    case DataType::kDouble: {
+      const auto& values = static_cast<const DoubleColumn&>(source).values();
+      std::vector<double> out;
+      out.reserve(rows.size());
+      for (uint32_t r : rows) out.push_back(values[r]);
+      return std::make_shared<DoubleColumn>(name, std::move(out));
+    }
+    case DataType::kString: {
+      const auto& str = static_cast<const StringColumn&>(source);
+      auto out = StringColumn::FromDictionary(name, str.dictionary());
+      out->Reserve(rows.size());
+      for (uint32_t r : rows) out->AppendCode(str.code(r));
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+/// Reads a numeric column value as double (fatal on string columns).
+double NumericAt(const Column& column, size_t row) {
+  switch (column.type()) {
+    case DataType::kInt32:
+      return static_cast<const Int32Column&>(column).value(row);
+    case DataType::kInt64:
+      return static_cast<double>(
+          static_cast<const Int64Column&>(column).value(row));
+    case DataType::kDouble:
+      return static_cast<const DoubleColumn&>(column).value(row);
+    case DataType::kString:
+      HETDB_LOG(Fatal) << "numeric access on string column " << column.name();
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> EvaluateFilter(const Table& input,
+                                             const ConjunctiveFilter& filter) {
+  const size_t n = input.num_rows();
+  std::vector<uint8_t> result(n, 1);
+  std::vector<uint8_t> disjunct(n, 0);
+  for (const Disjunction& disjunction : filter.conjuncts) {
+    std::fill(disjunct.begin(), disjunct.end(), 0);
+    for (const Predicate& atom : disjunction.atoms) {
+      HETDB_RETURN_NOT_OK(EvalAtomInto(input, atom, &disjunct));
+    }
+    for (size_t i = 0; i < n; ++i) result[i] &= disjunct[i];
+  }
+  std::vector<uint32_t> rows;
+  for (size_t i = 0; i < n; ++i) {
+    if (result[i]) rows.push_back(static_cast<uint32_t>(i));
+  }
+  return rows;
+}
+
+Result<TablePtr> GatherRows(const Table& input,
+                            const std::vector<uint32_t>& rows,
+                            const std::string& name) {
+  auto output = std::make_shared<Table>(name);
+  for (const ColumnPtr& column : input.columns()) {
+    ColumnPtr gathered = GatherColumn(*column, rows);
+    if (gathered == nullptr) return Status::Internal("gather failed");
+    HETDB_RETURN_NOT_OK(output->AddColumn(std::move(gathered)));
+  }
+  return output;
+}
+
+Result<TablePtr> HashJoin(const Table& build, const std::string& build_key,
+                          const Table& probe, const std::string& probe_key,
+                          const JoinOutputSpec& output_spec,
+                          const std::string& name) {
+  HETDB_ASSIGN_OR_RETURN(ColumnPtr build_key_col, build.GetColumn(build_key));
+  HETDB_ASSIGN_OR_RETURN(ColumnPtr probe_key_col, probe.GetColumn(probe_key));
+  if (build_key_col->type() != DataType::kInt32 &&
+      build_key_col->type() != DataType::kInt64) {
+    return Status::InvalidArgument("join key '" + build_key +
+                                   "' must be integer");
+  }
+
+  // Build phase. Dimension keys are usually unique, but duplicates are
+  // supported via the overflow vector.
+  const size_t build_rows = build.num_rows();
+  std::unordered_map<int64_t, uint32_t> first_match;
+  std::unordered_map<int64_t, std::vector<uint32_t>> overflow;
+  first_match.reserve(build_rows * 2);
+  for (size_t i = 0; i < build_rows; ++i) {
+    const int64_t key = IntKeyAt(*build_key_col, i);
+    auto [it, inserted] =
+        first_match.emplace(key, static_cast<uint32_t>(i));
+    if (!inserted) overflow[key].push_back(static_cast<uint32_t>(i));
+  }
+
+  // Probe phase: collect matching row pairs.
+  const size_t probe_rows = probe.num_rows();
+  std::vector<uint32_t> build_matches;
+  std::vector<uint32_t> probe_matches;
+  for (size_t i = 0; i < probe_rows; ++i) {
+    const int64_t key = IntKeyAt(*probe_key_col, i);
+    auto it = first_match.find(key);
+    if (it == first_match.end()) continue;
+    build_matches.push_back(it->second);
+    probe_matches.push_back(static_cast<uint32_t>(i));
+    auto ov = overflow.find(key);
+    if (ov != overflow.end()) {
+      for (uint32_t extra : ov->second) {
+        build_matches.push_back(extra);
+        probe_matches.push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+
+  // Materialize requested output columns.
+  if (!output_spec.build_aliases.empty() &&
+      output_spec.build_aliases.size() != output_spec.build_columns.size()) {
+    return Status::InvalidArgument("build_aliases size mismatch");
+  }
+  if (!output_spec.probe_aliases.empty() &&
+      output_spec.probe_aliases.size() != output_spec.probe_columns.size()) {
+    return Status::InvalidArgument("probe_aliases size mismatch");
+  }
+  auto output = std::make_shared<Table>(name);
+  for (size_t i = 0; i < output_spec.build_columns.size(); ++i) {
+    HETDB_ASSIGN_OR_RETURN(ColumnPtr column,
+                           build.GetColumn(output_spec.build_columns[i]));
+    const std::string& alias = output_spec.build_aliases.empty()
+                                   ? output_spec.build_columns[i]
+                                   : output_spec.build_aliases[i];
+    HETDB_RETURN_NOT_OK(
+        output->AddColumn(GatherColumn(*column, build_matches, alias)));
+  }
+  for (size_t i = 0; i < output_spec.probe_columns.size(); ++i) {
+    HETDB_ASSIGN_OR_RETURN(ColumnPtr column,
+                           probe.GetColumn(output_spec.probe_columns[i]));
+    const std::string& alias = output_spec.probe_aliases.empty()
+                                   ? output_spec.probe_columns[i]
+                                   : output_spec.probe_aliases[i];
+    HETDB_RETURN_NOT_OK(
+        output->AddColumn(GatherColumn(*column, probe_matches, alias)));
+  }
+  return output;
+}
+
+Result<TablePtr> Aggregate(const Table& input,
+                           const std::vector<std::string>& group_by,
+                           const std::vector<AggregateSpec>& aggregates,
+                           const std::string& name) {
+  const size_t n = input.num_rows();
+
+  std::vector<ColumnPtr> group_cols;
+  for (const std::string& col_name : group_by) {
+    HETDB_ASSIGN_OR_RETURN(ColumnPtr column, input.GetColumn(col_name));
+    group_cols.push_back(std::move(column));
+  }
+  std::vector<ColumnPtr> agg_inputs;
+  for (const AggregateSpec& spec : aggregates) {
+    if (spec.fn == AggregateFn::kCount && spec.input_column.empty()) {
+      agg_inputs.push_back(nullptr);  // COUNT(*)
+      continue;
+    }
+    HETDB_ASSIGN_OR_RETURN(ColumnPtr column, input.GetColumn(spec.input_column));
+    agg_inputs.push_back(std::move(column));
+  }
+
+  // Encode the composite group key as raw bytes.
+  std::unordered_map<std::string, uint32_t> groups;
+  std::vector<uint32_t> representative_row;  // one input row per group
+  std::vector<uint32_t> group_of_row(n);
+  std::string key;
+  for (size_t i = 0; i < n; ++i) {
+    key.clear();
+    for (const ColumnPtr& column : group_cols) {
+      int64_t encoded;
+      if (column->type() == DataType::kString) {
+        encoded = static_cast<const StringColumn&>(*column).code(i);
+      } else {
+        encoded = IntKeyAt(*column, i);
+      }
+      key.append(reinterpret_cast<const char*>(&encoded), sizeof(encoded));
+    }
+    auto [it, inserted] =
+        groups.emplace(key, static_cast<uint32_t>(representative_row.size()));
+    if (inserted) representative_row.push_back(static_cast<uint32_t>(i));
+    group_of_row[i] = it->second;
+  }
+  const size_t num_groups = representative_row.size();
+
+  // Accumulate.
+  struct Accumulator {
+    double sum = 0;
+    int64_t count = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  std::vector<std::vector<Accumulator>> accs(
+      aggregates.size(), std::vector<Accumulator>(num_groups));
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    const ColumnPtr& column = agg_inputs[a];
+    auto& acc = accs[a];
+    if (column == nullptr) {  // COUNT(*)
+      for (size_t i = 0; i < n; ++i) ++acc[group_of_row[i]].count;
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double v = NumericAt(*column, i);
+      Accumulator& slot = acc[group_of_row[i]];
+      slot.sum += v;
+      ++slot.count;
+      slot.min = std::min(slot.min, v);
+      slot.max = std::max(slot.max, v);
+    }
+  }
+
+  // Materialize output: group columns then aggregate columns.
+  auto output = std::make_shared<Table>(name);
+  for (const ColumnPtr& column : group_cols) {
+    HETDB_RETURN_NOT_OK(
+        output->AddColumn(GatherColumn(*column, representative_row)));
+  }
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    const AggregateSpec& spec = aggregates[a];
+    const ColumnPtr& in = agg_inputs[a];
+    const bool integer_input =
+        in != nullptr && (in->type() == DataType::kInt32 ||
+                          in->type() == DataType::kInt64);
+    const auto& acc = accs[a];
+    auto value_of = [&](size_t g) -> double {
+      switch (spec.fn) {
+        case AggregateFn::kSum:
+          return acc[g].sum;
+        case AggregateFn::kCount:
+          return static_cast<double>(acc[g].count);
+        case AggregateFn::kMin:
+          return acc[g].count > 0 ? acc[g].min : 0;
+        case AggregateFn::kMax:
+          return acc[g].count > 0 ? acc[g].max : 0;
+        case AggregateFn::kAvg:
+          return acc[g].count > 0 ? acc[g].sum / acc[g].count : 0;
+      }
+      return 0;
+    };
+    const bool integer_output =
+        spec.fn == AggregateFn::kCount ||
+        (integer_input && spec.fn != AggregateFn::kAvg);
+    if (integer_output) {
+      std::vector<int64_t> values(num_groups);
+      for (size_t g = 0; g < num_groups; ++g) {
+        values[g] = static_cast<int64_t>(std::llround(value_of(g)));
+      }
+      HETDB_RETURN_NOT_OK(output->AddColumn(
+          std::make_shared<Int64Column>(spec.output_name, std::move(values))));
+    } else {
+      std::vector<double> values(num_groups);
+      for (size_t g = 0; g < num_groups; ++g) values[g] = value_of(g);
+      HETDB_RETURN_NOT_OK(output->AddColumn(
+          std::make_shared<DoubleColumn>(spec.output_name, std::move(values))));
+    }
+  }
+  return output;
+}
+
+Result<TablePtr> Sort(const Table& input, const std::vector<SortKey>& keys,
+                      const std::string& name) {
+  const size_t n = input.num_rows();
+  std::vector<ColumnPtr> key_cols;
+  for (const SortKey& key : keys) {
+    HETDB_ASSIGN_OR_RETURN(ColumnPtr column, input.GetColumn(key.column));
+    key_cols.push_back(std::move(column));
+  }
+
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+
+  auto compare_at = [&](const Column& column, uint32_t a,
+                        uint32_t b) -> int {
+    if (column.type() == DataType::kString) {
+      const auto& str = static_cast<const StringColumn&>(column);
+      // Order-preserving dictionaries allow comparing codes directly.
+      if (str.order_preserving()) {
+        const int32_t ca = str.code(a), cb = str.code(b);
+        return ca < cb ? -1 : (ca > cb ? 1 : 0);
+      }
+      const auto va = str.value(a), vb = str.value(b);
+      return va < vb ? -1 : (va > vb ? 1 : 0);
+    }
+    const double va = NumericAt(column, a), vb = NumericAt(column, b);
+    return va < vb ? -1 : (va > vb ? 1 : 0);
+  };
+
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      const int cmp = compare_at(*key_cols[k], a, b);
+      if (cmp != 0) return keys[k].ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+
+  return GatherRows(input, order, name);
+}
+
+Result<TablePtr> Project(const Table& input,
+                         const std::vector<std::string>& keep_columns,
+                         const std::vector<ArithmeticExpr>& expressions,
+                         const std::string& name) {
+  auto output = std::make_shared<Table>(name);
+  for (const std::string& col_name : keep_columns) {
+    HETDB_ASSIGN_OR_RETURN(ColumnPtr column, input.GetColumn(col_name));
+    HETDB_RETURN_NOT_OK(output->AddColumn(column));  // zero-copy alias
+  }
+  const size_t n = input.num_rows();
+  for (const ArithmeticExpr& expr : expressions) {
+    HETDB_ASSIGN_OR_RETURN(ColumnPtr left, input.GetColumn(expr.left_column));
+    ColumnPtr right;
+    if (!expr.right_column.empty()) {
+      HETDB_ASSIGN_OR_RETURN(right, input.GetColumn(expr.right_column));
+    }
+    const bool integer_result =
+        expr.op != ArithmeticExpr::Op::kDiv &&
+        left->type() != DataType::kDouble &&
+        (right == nullptr
+             ? expr.right_constant == std::floor(expr.right_constant)
+             : right->type() != DataType::kDouble);
+    auto apply = [&](double a, double b) -> double {
+      switch (expr.op) {
+        case ArithmeticExpr::Op::kAdd:
+          return a + b;
+        case ArithmeticExpr::Op::kSub:
+          return a - b;
+        case ArithmeticExpr::Op::kMul:
+          return a * b;
+        case ArithmeticExpr::Op::kDiv:
+          return b == 0 ? 0 : a / b;
+        case ArithmeticExpr::Op::kRsub:
+          return b - a;
+      }
+      return 0;
+    };
+    if (integer_result) {
+      std::vector<int64_t> values(n);
+      for (size_t i = 0; i < n; ++i) {
+        const double b =
+            right != nullptr ? NumericAt(*right, i) : expr.right_constant;
+        values[i] = static_cast<int64_t>(apply(NumericAt(*left, i), b));
+      }
+      HETDB_RETURN_NOT_OK(output->AddColumn(
+          std::make_shared<Int64Column>(expr.output_name, std::move(values))));
+    } else {
+      std::vector<double> values(n);
+      for (size_t i = 0; i < n; ++i) {
+        const double b =
+            right != nullptr ? NumericAt(*right, i) : expr.right_constant;
+        values[i] = apply(NumericAt(*left, i), b);
+      }
+      HETDB_RETURN_NOT_OK(output->AddColumn(std::make_shared<DoubleColumn>(
+          expr.output_name, std::move(values))));
+    }
+  }
+  return output;
+}
+
+Result<TablePtr> Limit(const Table& input, size_t n, const std::string& name) {
+  const size_t take = std::min(n, input.num_rows());
+  std::vector<uint32_t> rows(take);
+  for (size_t i = 0; i < take; ++i) rows[i] = static_cast<uint32_t>(i);
+  return GatherRows(input, rows, name);
+}
+
+size_t FilterInputBytes(const Table& input, const ConjunctiveFilter& filter) {
+  size_t bytes = 0;
+  for (const Disjunction& disjunction : filter.conjuncts) {
+    for (const Predicate& atom : disjunction.atoms) {
+      Result<ColumnPtr> column = input.GetColumn(atom.column);
+      if (column.ok()) bytes += column.value()->data_bytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace hetdb

@@ -1,0 +1,83 @@
+#include "placement/runtime.h"
+
+namespace hetdb {
+
+namespace {
+
+/// Conservative device-heap footprint estimate: bytes that must be newly
+/// allocated (missing inputs), intermediates, and a worst-case result the
+/// size of the input.
+size_t EstimateDeviceFootprint(const PlanNode& node,
+                               const std::vector<OperatorResult*>& inputs,
+                               size_t missing_input_bytes) {
+  std::vector<TablePtr> input_tables;
+  input_tables.reserve(inputs.size());
+  size_t input_bytes = 0;
+  for (OperatorResult* input : inputs) {
+    input_tables.push_back(input->table);
+    input_bytes += input->table_bytes();
+  }
+  if (node.op() == PlanOp::kScan) input_bytes = node.InputBytes({});
+  return missing_input_bytes + node.IntermediateDeviceBytes(input_tables) +
+         input_bytes;
+}
+
+/// Bytes of input not yet device-resident.
+size_t MissingInputBytes(const PlanNode& node,
+                         const std::vector<OperatorResult*>& inputs,
+                         EngineContext& ctx) {
+  if (node.op() == PlanOp::kScan) {
+    const auto& scan = static_cast<const ScanNode&>(node);
+    size_t missing = 0;
+    for (const auto& [key, column] : scan.base_columns()) {
+      if (!ctx.cache().IsCached(key)) missing += column->data_bytes();
+    }
+    return missing;
+  }
+  size_t missing = 0;
+  for (OperatorResult* input : inputs) {
+    if (input->location != ProcessorKind::kGpu) missing += input->table_bytes();
+  }
+  return missing;
+}
+
+}  // namespace
+
+RuntimePlacer MakeHypePlacer() {
+  return [](const PlanNode& node, const std::vector<OperatorResult*>& inputs,
+            EngineContext& ctx) -> ProcessorKind {
+    const size_t missing = MissingInputBytes(node, inputs, ctx);
+    if (EstimateDeviceFootprint(node, inputs, missing) >
+        ctx.simulator().device_heap().capacity()) {
+      return ProcessorKind::kCpu;  // cannot possibly fit: don't even try
+    }
+    size_t input_bytes = 0;
+    size_t device_resident = 0;
+    for (OperatorResult* input : inputs) {
+      input_bytes += input->table_bytes();
+      // Base data always has a host copy; only device-produced intermediates
+      // would need a copy-back under CPU placement.
+      if (input->location == ProcessorKind::kGpu && !input->base_data) {
+        device_resident += input->table_bytes();
+      }
+    }
+    if (node.op() == PlanOp::kScan) input_bytes = node.InputBytes({});
+    return ctx.scheduler().ChooseProcessor(node.op_class(), input_bytes,
+                                           missing, device_resident);
+  };
+}
+
+RuntimePlacer MakeDataDrivenPlacer() {
+  return [](const PlanNode& node, const std::vector<OperatorResult*>& inputs,
+            EngineContext& ctx) -> ProcessorKind {
+    const size_t missing = MissingInputBytes(node, inputs, ctx);
+    if (missing > 0) return ProcessorKind::kCpu;
+    if (EstimateDeviceFootprint(node, inputs, 0) >
+        ctx.simulator().device_heap().capacity()) {
+      return ProcessorKind::kCpu;
+    }
+    return ProcessorKind::kGpu;
+  };
+}
+
+}  // namespace hetdb

@@ -1,0 +1,23 @@
+#ifndef HETDB_PLACEMENT_RUNTIME_H_
+#define HETDB_PLACEMENT_RUNTIME_H_
+
+#include "engine/chopping_executor.h"
+
+namespace hetdb {
+
+/// Operator-driven run-time placement (Sections 4 and 5.2): HyPE picks the
+/// processor with the lower estimated completion time, accounting for
+/// queue load and the bytes that would have to cross the bus. Operators
+/// whose estimated device footprint exceeds the heap go straight to the CPU.
+RuntimePlacer MakeHypePlacer();
+
+/// Data-driven run-time placement (Section 5.4): scans go to the device iff
+/// all their input columns are cached there; other operators go to the
+/// device iff every input is device-resident. After an abort the restarted
+/// operator's output is host-resident, so successors fall back to the CPU
+/// automatically.
+RuntimePlacer MakeDataDrivenPlacer();
+
+}  // namespace hetdb
+
+#endif  // HETDB_PLACEMENT_RUNTIME_H_

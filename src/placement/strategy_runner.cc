@@ -1,0 +1,110 @@
+#include "placement/strategy_runner.h"
+
+#include "common/logging.h"
+#include "placement/compile_time.h"
+#include "placement/runtime.h"
+
+namespace hetdb {
+
+const char* StrategyToString(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kCpuOnly:
+      return "CPU Only";
+    case Strategy::kGpuOnly:
+      return "GPU Only";
+    case Strategy::kCriticalPath:
+      return "Critical Path";
+    case Strategy::kDataDriven:
+      return "Data-Driven";
+    case Strategy::kRunTime:
+      return "Run-Time";
+    case Strategy::kChopping:
+      return "Chopping";
+    case Strategy::kDataDrivenChopping:
+      return "Data-Driven Chopping";
+  }
+  return "unknown";
+}
+
+bool IsCompileTimeStrategy(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kCpuOnly:
+    case Strategy::kGpuOnly:
+    case Strategy::kCriticalPath:
+    case Strategy::kDataDriven:
+      return true;
+    case Strategy::kRunTime:
+    case Strategy::kChopping:
+    case Strategy::kDataDrivenChopping:
+      return false;
+  }
+  return true;
+}
+
+bool LimitsConcurrency(Strategy strategy) {
+  return strategy == Strategy::kChopping ||
+         strategy == Strategy::kDataDrivenChopping;
+}
+
+StrategyRunner::StrategyRunner(EngineContext* ctx, Strategy strategy)
+    : ctx_(ctx), strategy_(strategy) {
+  HETDB_CHECK(ctx_ != nullptr);
+  switch (strategy_) {
+    case Strategy::kRunTime:
+      // Run-time placement without concurrency limiting: a pool large enough
+      // to never be the bottleneck.
+      chopping_ = std::make_unique<ChoppingExecutor>(ctx_, kUnboundedWorkers,
+                                                     kUnboundedWorkers);
+      placer_ = MakeHypePlacer();
+      break;
+    case Strategy::kChopping:
+      chopping_ = std::make_unique<ChoppingExecutor>(
+          ctx_, ctx_->config().cpu_workers, ctx_->config().gpu_workers);
+      placer_ = MakeHypePlacer();
+      break;
+    case Strategy::kDataDrivenChopping:
+      chopping_ = std::make_unique<ChoppingExecutor>(
+          ctx_, ctx_->config().cpu_workers, ctx_->config().gpu_workers);
+      placer_ = MakeDataDrivenPlacer();
+      break;
+    default:
+      break;  // compile-time strategies need no executor state
+  }
+}
+
+Result<TablePtr> StrategyRunner::RunQuery(const PlanNodePtr& root) {
+  if (chopping_ != nullptr) {
+    return chopping_->ExecuteQuery(root, placer_);
+  }
+  PlacementMap placement;
+  switch (strategy_) {
+    case Strategy::kCpuOnly:
+      placement = PlaceCpuOnly(root);
+      break;
+    case Strategy::kGpuOnly:
+      placement = PlaceGpuOnly(root);
+      break;
+    case Strategy::kCriticalPath:
+      placement = PlaceCriticalPath(root, *ctx_);
+      break;
+    case Strategy::kDataDriven:
+      placement = PlaceDataDriven(root, *ctx_);
+      break;
+    default:
+      return Status::Internal("runtime strategy without executor");
+  }
+  QueryExecutor executor(ctx_);
+  return executor.Execute(root, placement);
+}
+
+void StrategyRunner::RefreshDataPlacement() {
+  std::vector<std::pair<std::string, ColumnPtr>> columns;
+  for (const TablePtr& table : ctx_->database()->tables()) {
+    for (const ColumnPtr& column : table->columns()) {
+      columns.emplace_back(table->QualifiedName(column->name()), column);
+    }
+  }
+  ctx_->cache().RunPlacementJob(columns);
+}
+
+}  // namespace hetdb

@@ -1,0 +1,49 @@
+#ifndef HETDB_PLACEMENT_STRATEGY_RUNNER_H_
+#define HETDB_PLACEMENT_STRATEGY_RUNNER_H_
+
+#include <memory>
+
+#include "engine/chopping_executor.h"
+#include "engine/engine_context.h"
+#include "engine/query_executor.h"
+#include "placement/strategy.h"
+
+namespace hetdb {
+
+/// Executes queries under one named placement strategy.
+///
+/// Thread-safe: user-session threads share one runner, which is essential
+/// for the chopping strategies — their single worker-thread pool *is* the
+/// concurrency bound across all concurrent queries.
+class StrategyRunner {
+ public:
+  StrategyRunner(EngineContext* ctx, Strategy strategy);
+
+  StrategyRunner(const StrategyRunner&) = delete;
+  StrategyRunner& operator=(const StrategyRunner&) = delete;
+
+  /// Runs one query to completion and returns the host-resident result.
+  Result<TablePtr> RunQuery(const PlanNodePtr& root);
+
+  Strategy strategy() const { return strategy_; }
+  EngineContext& ctx() { return *ctx_; }
+
+  /// Runs the Algorithm-1 data placement job over all base columns of the
+  /// context's database. Call after warm-up (or periodically) for the
+  /// data-driven strategies; a no-op for operator-driven ones is harmless.
+  void RefreshDataPlacement();
+
+ private:
+  /// Worker-pool size used to emulate *unbounded* device concurrency for the
+  /// plain run-time strategy (Section 4 has no concurrency limiting).
+  static constexpr int kUnboundedWorkers = 64;
+
+  EngineContext* ctx_;
+  Strategy strategy_;
+  std::unique_ptr<ChoppingExecutor> chopping_;
+  RuntimePlacer placer_;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_PLACEMENT_STRATEGY_RUNNER_H_

@@ -1,0 +1,46 @@
+#include "sim/device_allocator.h"
+
+namespace hetdb {
+
+void DeviceAllocation::Release() {
+  if (allocator_ != nullptr && bytes_ > 0) {
+    allocator_->Free(bytes_);
+  }
+  allocator_ = nullptr;
+  bytes_ = 0;
+}
+
+Result<DeviceAllocation> DeviceAllocator::Allocate(size_t bytes,
+                                                   const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failure_injector_ && failure_injector_(bytes)) {
+    failed_allocations_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted("injected failure for " + tag);
+  }
+  const size_t current = used_.load(std::memory_order_relaxed);
+  if (bytes > capacity_ || current > capacity_ - bytes) {
+    failed_allocations_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "device heap exhausted: need " + std::to_string(bytes) + " bytes for " +
+        tag + ", used " + std::to_string(current) + "/" +
+        std::to_string(capacity_));
+  }
+  const size_t now = current + bytes;
+  used_.store(now, std::memory_order_relaxed);
+  if (now > peak_used_.load(std::memory_order_relaxed)) {
+    peak_used_.store(now, std::memory_order_relaxed);
+  }
+  return DeviceAllocation(this, bytes);
+}
+
+void DeviceAllocator::Free(size_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void DeviceAllocator::ResetStats() {
+  failed_allocations_.store(0, std::memory_order_relaxed);
+  peak_used_.store(used_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+}  // namespace hetdb

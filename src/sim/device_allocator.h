@@ -1,0 +1,105 @@
+#ifndef HETDB_SIM_DEVICE_ALLOCATOR_H_
+#define HETDB_SIM_DEVICE_ALLOCATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace hetdb {
+
+class DeviceAllocator;
+
+/// RAII handle for a device heap allocation. Releasing (or destroying) the
+/// handle returns the bytes to the allocator. Move-only.
+class DeviceAllocation {
+ public:
+  DeviceAllocation() = default;
+  DeviceAllocation(DeviceAllocator* allocator, size_t bytes)
+      : allocator_(allocator), bytes_(bytes) {}
+  ~DeviceAllocation() { Release(); }
+
+  DeviceAllocation(const DeviceAllocation&) = delete;
+  DeviceAllocation& operator=(const DeviceAllocation&) = delete;
+  DeviceAllocation(DeviceAllocation&& other) noexcept { *this = std::move(other); }
+  DeviceAllocation& operator=(DeviceAllocation&& other) noexcept {
+    if (this != &other) {
+      Release();
+      allocator_ = other.allocator_;
+      bytes_ = other.bytes_;
+      other.allocator_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  size_t bytes() const { return bytes_; }
+  bool valid() const { return allocator_ != nullptr; }
+
+  /// Returns the bytes to the allocator early.
+  void Release();
+
+ private:
+  DeviceAllocator* allocator_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+/// Byte-exact accounting allocator for the co-processor's heap.
+///
+/// This models the scarce device memory that causes the paper's *heap
+/// contention* effect: when concurrently running device operators together
+/// request more than `capacity` bytes, `Allocate` fails with
+/// ResourceExhausted, the operator aborts, and the engine restarts it on the
+/// CPU (Section 2.2 / 2.5.1). Allocation is all-or-nothing and never waits:
+/// the paper argues a wait-and-admit scheme would deadlock because operators
+/// allocate in several steps while holding earlier allocations.
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(size_t capacity) : capacity_(capacity) {}
+
+  DeviceAllocator(const DeviceAllocator&) = delete;
+  DeviceAllocator& operator=(const DeviceAllocator&) = delete;
+
+  /// Attempts to reserve `bytes`. Fails immediately (no queuing) when the
+  /// remaining capacity is insufficient or the failure injector fires.
+  Result<DeviceAllocation> Allocate(size_t bytes, const std::string& tag);
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t available() const {
+    const size_t u = used();
+    return u >= capacity_ ? 0 : capacity_ - u;
+  }
+
+  /// Statistics for Figure 13 (operator aborts) style reporting.
+  uint64_t failed_allocations() const {
+    return failed_allocations_.load(std::memory_order_relaxed);
+  }
+  size_t peak_used() const { return peak_used_.load(std::memory_order_relaxed); }
+  void ResetStats();
+
+  /// Test hook: when set, every allocation consults the injector first and
+  /// fails with ResourceExhausted if it returns true.
+  void set_failure_injector(std::function<bool(size_t)> injector) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    failure_injector_ = std::move(injector);
+  }
+
+ private:
+  friend class DeviceAllocation;
+  void Free(size_t bytes);
+
+  const size_t capacity_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_used_{0};
+  std::atomic<uint64_t> failed_allocations_{0};
+  std::mutex mutex_;  // guards allocate/peak update and the injector
+  std::function<bool(size_t)> failure_injector_;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_SIM_DEVICE_ALLOCATOR_H_

@@ -1,0 +1,31 @@
+#include "sim/pcie_bus.h"
+
+namespace hetdb {
+
+void PcieBus::Transfer(size_t bytes, TransferDirection direction,
+                       bool asynchronous) {
+  if (bytes == 0) return;
+  const double effective_mbps =
+      asynchronous ? bandwidth_mbps_ : bandwidth_mbps_ * sync_efficiency_;
+  // bytes / (MB/s) == microseconds, since 1 MB/s == 1 byte/us.
+  const double micros = static_cast<double>(bytes) / effective_mbps;
+  const int lane = Index(direction);
+  {
+    std::lock_guard<std::mutex> lock(lane_mutex_[lane]);
+    clock_->Charge(micros);
+  }
+  bytes_[lane].fetch_add(bytes, std::memory_order_relaxed);
+  micros_[lane].fetch_add(static_cast<int64_t>(micros),
+                          std::memory_order_relaxed);
+  count_[lane].fetch_add(1, std::memory_order_relaxed);
+}
+
+void PcieBus::ResetStats() {
+  for (int lane = 0; lane < 2; ++lane) {
+    bytes_[lane].store(0, std::memory_order_relaxed);
+    micros_[lane].store(0, std::memory_order_relaxed);
+    count_[lane].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hetdb

@@ -1,0 +1,71 @@
+#ifndef HETDB_SIM_PCIE_BUS_H_
+#define HETDB_SIM_PCIE_BUS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "sim/sim_clock.h"
+
+namespace hetdb {
+
+enum class TransferDirection { kHostToDevice = 0, kDeviceToHost = 1 };
+
+/// Models the PCIe interconnect between host and co-processor.
+///
+/// Transfers in the same direction serialize on a per-direction lane lock
+/// (PCIe is full duplex), each taking bytes/bandwidth of modeled time while
+/// holding the lane — so concurrent queries genuinely queue on the bus, which
+/// is the mechanism behind the cache-thrashing degradation (Figures 2 and 6).
+/// Per-direction byte and time counters feed the Figure 15/19 metrics.
+class PcieBus {
+ public:
+  /// `bandwidth_mbps` is the asynchronous (page-locked staging, CUDA-stream)
+  /// bandwidth; synchronous transfers run at `bandwidth_mbps *
+  /// sync_efficiency` (Section 2.5.3 of the paper).
+  PcieBus(double bandwidth_mbps, double sync_efficiency, SimClock* clock)
+      : bandwidth_mbps_(bandwidth_mbps),
+        sync_efficiency_(sync_efficiency),
+        clock_(clock) {}
+
+  PcieBus(const PcieBus&) = delete;
+  PcieBus& operator=(const PcieBus&) = delete;
+
+  /// Moves `bytes` across the bus, blocking the calling thread for the
+  /// modeled duration (queuing behind other transfers in the same direction).
+  void Transfer(size_t bytes, TransferDirection direction,
+                bool asynchronous = true);
+
+  uint64_t transferred_bytes(TransferDirection direction) const {
+    return bytes_[Index(direction)].load(std::memory_order_relaxed);
+  }
+  /// Total modeled microseconds spent transferring in `direction` (summed
+  /// over threads; can exceed wall-clock when transfers overlap with compute).
+  int64_t transfer_micros(TransferDirection direction) const {
+    return micros_[Index(direction)].load(std::memory_order_relaxed);
+  }
+  uint64_t transfer_count(TransferDirection direction) const {
+    return count_[Index(direction)].load(std::memory_order_relaxed);
+  }
+
+  void ResetStats();
+
+  double bandwidth_mbps() const { return bandwidth_mbps_; }
+
+ private:
+  static int Index(TransferDirection direction) {
+    return static_cast<int>(direction);
+  }
+
+  const double bandwidth_mbps_;
+  const double sync_efficiency_;
+  SimClock* clock_;
+  std::mutex lane_mutex_[2];
+  std::atomic<uint64_t> bytes_[2] = {};
+  std::atomic<int64_t> micros_[2] = {};
+  std::atomic<uint64_t> count_[2] = {};
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_SIM_PCIE_BUS_H_

@@ -1,0 +1,76 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace hetdb {
+
+const char* ProcessorKindToString(ProcessorKind kind) {
+  switch (kind) {
+    case ProcessorKind::kCpu:
+      return "CPU";
+    case ProcessorKind::kGpu:
+      return "GPU";
+  }
+  return "unknown";
+}
+
+Simulator::Simulator(const SystemConfig& config)
+    : config_(config),
+      clock_(config.simulate_time, config.time_scale),
+      device_heap_(std::make_unique<DeviceAllocator>(config.device_heap_bytes())),
+      bus_(std::make_unique<PcieBus>(config.pcie_mbps,
+                                     config.pcie_sync_efficiency, &clock_)),
+      cpu_slots_(config.cpu_workers) {
+  HETDB_CHECK(config.cpu_workers > 0);
+  HETDB_CHECK(config.pcie_mbps > 0);
+}
+
+double Simulator::ThroughputMbps(ProcessorKind processor,
+                                 OpClass op_class) const {
+  const ThroughputTable& table = processor == ProcessorKind::kCpu
+                                     ? config_.cpu_throughput
+                                     : config_.gpu_throughput;
+  switch (op_class) {
+    case OpClass::kScan:
+      return table.scan_mbps;
+    case OpClass::kJoin:
+      return table.join_mbps;
+    case OpClass::kAggregate:
+      return table.aggregate_mbps;
+    case OpClass::kSort:
+      return table.sort_mbps;
+    case OpClass::kProject:
+      return table.project_mbps;
+    case OpClass::kMaterialize:
+      return table.materialize_mbps;
+  }
+  return table.scan_mbps;
+}
+
+double Simulator::EstimateComputeMicros(ProcessorKind processor,
+                                        OpClass op_class,
+                                        size_t input_bytes) const {
+  // bytes / (MB/s) == microseconds.
+  return static_cast<double>(input_bytes) / ThroughputMbps(processor, op_class);
+}
+
+double Simulator::EstimateTransferMicros(size_t bytes) const {
+  return static_cast<double>(bytes) / config_.pcie_mbps;
+}
+
+void Simulator::ChargeCompute(ProcessorKind processor, OpClass op_class,
+                              size_t input_bytes) {
+  const double micros = EstimateComputeMicros(processor, op_class, input_bytes);
+  if (processor == ProcessorKind::kGpu) {
+    std::lock_guard<std::mutex> lock(gpu_kernel_mutex_);
+    clock_.Charge(micros);
+  } else {
+    // Intra-operator parallelism: the kernel runs on every currently idle
+    // core; under high inter-operator concurrency each operator gets one.
+    const int slots = cpu_slots_.AcquireUpTo(config_.cpu_workers);
+    clock_.Charge(micros / slots);
+    cpu_slots_.Release(slots);
+  }
+}
+
+}  // namespace hetdb

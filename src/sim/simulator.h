@@ -1,0 +1,115 @@
+#ifndef HETDB_SIM_SIMULATOR_H_
+#define HETDB_SIM_SIMULATOR_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "common/config.h"
+#include "sim/device_allocator.h"
+#include "sim/pcie_bus.h"
+#include "sim/sim_clock.h"
+
+namespace hetdb {
+
+/// The two processor classes of the paper's heterogeneous machine.
+enum class ProcessorKind { kCpu = 0, kGpu = 1 };
+
+const char* ProcessorKindToString(ProcessorKind kind);
+
+/// Operator cost classes, mapping to ThroughputTable entries.
+enum class OpClass { kScan, kJoin, kAggregate, kSort, kProject, kMaterialize };
+
+/// Simple counting semaphore (std::counting_semaphore needs a compile-time
+/// ceiling; the CPU slot count is a runtime config value).
+class Semaphore {
+ public:
+  explicit Semaphore(int count) : count_(count) {}
+
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ > 0; });
+    --count_;
+  }
+  void Release() { Release(1); }
+
+  /// Blocks until at least one permit is free, then takes up to `max_count`
+  /// of the free permits and returns how many were taken. Used to model
+  /// adaptive intra-operator parallelism: an idle machine gives a kernel all
+  /// cores, a loaded machine one (Section 5.2 / Psaroudakis et al.).
+  int AcquireUpTo(int max_count) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ > 0; });
+    const int taken = std::min(count_, max_count);
+    count_ -= taken;
+    return taken;
+  }
+
+  void Release(int permits) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      count_ += permits;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+/// Bundles the simulated machine: host CPU slots, the co-processor (heap
+/// allocator + kernel serialization), and the PCIe bus.
+///
+/// One Simulator instance represents one machine; every engine, cache, and
+/// workload run is constructed over a Simulator. Timing semantics:
+///
+///  * `ChargeCompute(kCpu, ...)` occupies one of `cpu_workers` CPU slots for
+///    the modeled kernel duration — the host has finitely many cores.
+///  * `ChargeCompute(kGpu, ...)` serializes on the device kernel lock —
+///    device kernels time-share the co-processor, while the *memory* of
+///    concurrently running device operators stays allocated for their whole
+///    lifetime. This combination is exactly what makes heap contention
+///    (many operators holding heap while waiting) possible, as in the paper.
+class Simulator {
+ public:
+  explicit Simulator(const SystemConfig& config);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  const SystemConfig& config() const { return config_; }
+  SimClock& clock() { return clock_; }
+  DeviceAllocator& device_heap() { return *device_heap_; }
+  PcieBus& bus() { return *bus_; }
+
+  /// Models executing one operator kernel of class `op_class` over
+  /// `input_bytes` of data on `processor`. Blocks for the modeled duration
+  /// (plus any queuing for a CPU slot / the device kernel lock).
+  void ChargeCompute(ProcessorKind processor, OpClass op_class,
+                     size_t input_bytes);
+
+  /// Modeled kernel duration without executing it (for cost estimation).
+  double EstimateComputeMicros(ProcessorKind processor, OpClass op_class,
+                               size_t input_bytes) const;
+
+  /// Modeled one-way transfer duration for `bytes` (for cost estimation).
+  double EstimateTransferMicros(size_t bytes) const;
+
+ private:
+  double ThroughputMbps(ProcessorKind processor, OpClass op_class) const;
+
+  SystemConfig config_;
+  SimClock clock_;
+  std::unique_ptr<DeviceAllocator> device_heap_;
+  std::unique_ptr<PcieBus> bus_;
+  Semaphore cpu_slots_;
+  std::mutex gpu_kernel_mutex_;
+};
+
+using SimulatorPtr = std::shared_ptr<Simulator>;
+
+}  // namespace hetdb
+
+#endif  // HETDB_SIM_SIMULATOR_H_

@@ -1,0 +1,79 @@
+#ifndef HETDB_SQL_AST_H_
+#define HETDB_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "operators/expression.h"
+
+namespace hetdb {
+
+/// A scalar expression in a SELECT item or aggregate argument: a column, or
+/// `column <op> column`, or `column <op> constant`.
+struct SqlExpr {
+  std::string column;
+  bool has_arithmetic = false;
+  ArithmeticExpr::Op op = ArithmeticExpr::Op::kMul;
+  std::string rhs_column;     // empty => rhs_constant
+  double rhs_constant = 0;
+  bool rhs_is_constant = false;
+
+  bool IsPlainColumn() const { return !has_arithmetic; }
+
+  /// Columns referenced by the expression.
+  std::vector<std::string> Columns() const {
+    std::vector<std::string> columns = {column};
+    if (has_arithmetic && !rhs_is_constant) columns.push_back(rhs_column);
+    return columns;
+  }
+};
+
+/// One item of the SELECT list.
+struct SelectItem {
+  enum class Kind { kExpression, kAggregate };
+  Kind kind = Kind::kExpression;
+  SqlExpr expr;                       // argument (empty column for COUNT(*))
+  AggregateFn fn = AggregateFn::kSum; // for kAggregate
+  std::string alias;                  // output name ("" => derived)
+
+  std::string OutputName() const;
+};
+
+/// One conjunct of the WHERE clause.
+struct SqlPredicate {
+  enum class Kind {
+    kCompare,   // column <op> literal
+    kBetween,   // column BETWEEN literal AND literal
+    kIn,        // column IN (literal, ...)
+    kColumnEq,  // column = column (join predicate or same-table filter)
+  };
+  Kind kind = Kind::kCompare;
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+  Value value2;                 // BETWEEN upper bound
+  std::vector<Value> in_list;   // IN list
+  std::string rhs_column;       // kColumnEq
+};
+
+/// A parsed SELECT statement of the supported subset:
+///
+///   SELECT item [, item ...]
+///   FROM table [, table ...]
+///   [WHERE conjunct [AND conjunct ...]]
+///   [GROUP BY column [, ...]]
+///   [ORDER BY column [ASC|DESC] [, ...]]
+///   [LIMIT n]
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::vector<std::string> tables;
+  std::vector<SqlPredicate> where;
+  std::vector<std::string> group_by;
+  std::vector<SortKey> order_by;
+  std::optional<size_t> limit;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_SQL_AST_H_

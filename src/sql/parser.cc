@@ -1,0 +1,287 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace hetdb {
+
+namespace {
+
+std::string AggName(AggregateFn fn) { return AggregateFnToString(fn); }
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement statement;
+    HETDB_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    HETDB_RETURN_NOT_OK(ParseSelectList(&statement));
+    HETDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    HETDB_RETURN_NOT_OK(ParseTableList(&statement));
+    if (AcceptKeyword("WHERE")) {
+      HETDB_RETURN_NOT_OK(ParseWhere(&statement));
+    }
+    if (AcceptKeyword("GROUP")) {
+      HETDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+      HETDB_RETURN_NOT_OK(ParseColumnList(&statement.group_by));
+    }
+    if (AcceptKeyword("ORDER")) {
+      HETDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+      HETDB_RETURN_NOT_OK(ParseOrderBy(&statement));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      statement.limit = static_cast<size_t>(Next().int_value);
+    }
+    (void)AcceptSymbol(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return statement;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t index = std::min(position_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  const Token& Next() { return tokens_[std::min(position_++, tokens_.size() - 1)]; }
+
+  bool AcceptKeyword(const char* word) {
+    if (Peek().IsKeyword(word)) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* symbol) {
+    if (Peek().IsSymbol(symbol)) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* word) {
+    if (!AcceptKeyword(word)) {
+      return Error(std::string("expected ") + word);
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* symbol) {
+    if (!AcceptSymbol(symbol)) {
+      return Error(std::string("expected '") + symbol + "'");
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at position " +
+                                   std::to_string(Peek().position) +
+                                   " (near '" + Peek().text + "')");
+  }
+
+  /// Identifier, with optional "table." qualifier stripped.
+  Result<std::string> ParseColumnName() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected column name");
+    }
+    std::string name = Next().text;
+    if (AcceptSymbol(".")) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected column after '.'");
+      }
+      name = Next().text;  // column names are globally unique in HetDB
+    }
+    return name;
+  }
+
+  Result<std::optional<ArithmeticExpr::Op>> ParseArithOp() {
+    if (AcceptSymbol("*")) return std::optional(ArithmeticExpr::Op::kMul);
+    if (AcceptSymbol("+")) return std::optional(ArithmeticExpr::Op::kAdd);
+    if (AcceptSymbol("-")) return std::optional(ArithmeticExpr::Op::kSub);
+    if (AcceptSymbol("/")) return std::optional(ArithmeticExpr::Op::kDiv);
+    return std::optional<ArithmeticExpr::Op>();
+  }
+
+  /// column [op (column | number)]
+  Result<SqlExpr> ParseExpr() {
+    SqlExpr expr;
+    HETDB_ASSIGN_OR_RETURN(expr.column, ParseColumnName());
+    HETDB_ASSIGN_OR_RETURN(std::optional<ArithmeticExpr::Op> op,
+                           ParseArithOp());
+    if (!op.has_value()) return expr;
+    expr.has_arithmetic = true;
+    expr.op = *op;
+    if (Peek().kind == TokenKind::kInteger) {
+      expr.rhs_is_constant = true;
+      expr.rhs_constant = static_cast<double>(Next().int_value);
+    } else if (Peek().kind == TokenKind::kFloat) {
+      expr.rhs_is_constant = true;
+      expr.rhs_constant = Next().float_value;
+    } else {
+      HETDB_ASSIGN_OR_RETURN(expr.rhs_column, ParseColumnName());
+    }
+    return expr;
+  }
+
+  Result<std::optional<AggregateFn>> ParseAggregateFn() {
+    if (AcceptKeyword("SUM")) return std::optional(AggregateFn::kSum);
+    if (AcceptKeyword("COUNT")) return std::optional(AggregateFn::kCount);
+    if (AcceptKeyword("MIN")) return std::optional(AggregateFn::kMin);
+    if (AcceptKeyword("MAX")) return std::optional(AggregateFn::kMax);
+    if (AcceptKeyword("AVG")) return std::optional(AggregateFn::kAvg);
+    return std::optional<AggregateFn>();
+  }
+
+  Status ParseSelectList(SelectStatement* statement) {
+    do {
+      SelectItem item;
+      HETDB_ASSIGN_OR_RETURN(std::optional<AggregateFn> fn,
+                             ParseAggregateFn());
+      if (fn.has_value()) {
+        item.kind = SelectItem::Kind::kAggregate;
+        item.fn = *fn;
+        HETDB_RETURN_NOT_OK(ExpectSymbol("("));
+        if (*fn == AggregateFn::kCount && AcceptSymbol("*")) {
+          // COUNT(*): empty argument.
+        } else {
+          HETDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        }
+        HETDB_RETURN_NOT_OK(ExpectSymbol(")"));
+      } else {
+        item.kind = SelectItem::Kind::kExpression;
+        HETDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      if (AcceptKeyword("AS")) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        item.alias = Next().text;
+      }
+      statement->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseTableList(SelectStatement* statement) {
+    do {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected table name");
+      }
+      statement->tables.push_back(Next().text);
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kInteger:
+        return Value(Next().int_value);
+      case TokenKind::kFloat:
+        return Value(Next().float_value);
+      case TokenKind::kString:
+        return Value(Next().text);
+      default:
+        return Error("expected literal");
+    }
+  }
+
+  Status ParseWhere(SelectStatement* statement) {
+    do {
+      SqlPredicate predicate;
+      HETDB_ASSIGN_OR_RETURN(predicate.column, ParseColumnName());
+      if (AcceptKeyword("BETWEEN")) {
+        predicate.kind = SqlPredicate::Kind::kBetween;
+        HETDB_ASSIGN_OR_RETURN(predicate.value, ParseLiteral());
+        HETDB_RETURN_NOT_OK(ExpectKeyword("AND"));
+        HETDB_ASSIGN_OR_RETURN(predicate.value2, ParseLiteral());
+      } else if (AcceptKeyword("IN")) {
+        predicate.kind = SqlPredicate::Kind::kIn;
+        HETDB_RETURN_NOT_OK(ExpectSymbol("("));
+        do {
+          HETDB_ASSIGN_OR_RETURN(Value value, ParseLiteral());
+          predicate.in_list.push_back(std::move(value));
+        } while (AcceptSymbol(","));
+        HETDB_RETURN_NOT_OK(ExpectSymbol(")"));
+      } else {
+        CompareOp op;
+        if (AcceptSymbol("=")) {
+          op = CompareOp::kEq;
+        } else if (AcceptSymbol("<>")) {
+          op = CompareOp::kNe;
+        } else if (AcceptSymbol("<=")) {
+          op = CompareOp::kLe;
+        } else if (AcceptSymbol(">=")) {
+          op = CompareOp::kGe;
+        } else if (AcceptSymbol("<")) {
+          op = CompareOp::kLt;
+        } else if (AcceptSymbol(">")) {
+          op = CompareOp::kGt;
+        } else {
+          return Error("expected comparison operator");
+        }
+        if (Peek().kind == TokenKind::kIdentifier) {
+          if (op != CompareOp::kEq) {
+            return Error("column-to-column predicates support only '='");
+          }
+          predicate.kind = SqlPredicate::Kind::kColumnEq;
+          HETDB_ASSIGN_OR_RETURN(predicate.rhs_column, ParseColumnName());
+        } else {
+          predicate.kind = SqlPredicate::Kind::kCompare;
+          predicate.op = op;
+          HETDB_ASSIGN_OR_RETURN(predicate.value, ParseLiteral());
+        }
+      }
+      statement->where.push_back(std::move(predicate));
+    } while (AcceptKeyword("AND"));
+    return Status::OK();
+  }
+
+  Status ParseColumnList(std::vector<std::string>* columns) {
+    do {
+      HETDB_ASSIGN_OR_RETURN(std::string name, ParseColumnName());
+      columns->push_back(std::move(name));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseOrderBy(SelectStatement* statement) {
+    do {
+      SortKey key;
+      HETDB_ASSIGN_OR_RETURN(key.column, ParseColumnName());
+      if (AcceptKeyword("DESC")) {
+        key.ascending = false;
+      } else {
+        (void)AcceptKeyword("ASC");
+      }
+      statement->order_by.push_back(std::move(key));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+std::string SelectItem::OutputName() const {
+  if (!alias.empty()) return alias;
+  if (kind == Kind::kAggregate) {
+    if (expr.column.empty()) return std::string(AggName(fn)) + "_all";
+    return std::string(AggName(fn)) + "_" + expr.column;
+  }
+  if (expr.has_arithmetic) return expr.column + "_expr";
+  return expr.column;
+}
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  HETDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace hetdb

@@ -1,0 +1,18 @@
+#ifndef HETDB_SQL_PARSER_H_
+#define HETDB_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace hetdb {
+
+/// Parses one SELECT statement of the supported SQL subset (see ast.h).
+/// Qualified column names ("lineorder.lo_discount") are accepted and
+/// reduced to their column part — HetDB column names are globally unique.
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace hetdb
+
+#endif  // HETDB_SQL_PARSER_H_

@@ -1,0 +1,57 @@
+#include "storage/database.h"
+
+namespace hetdb {
+
+Status Database::AddTable(TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (tables_.count(table->name()) > 0) {
+    return Status::AlreadyExists("table '" + table->name() +
+                                 "' already exists");
+  }
+  tables_[table->name()] = std::move(table);
+  return Status::OK();
+}
+
+Result<TablePtr> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<ColumnPtr> Database::GetColumnByQualifiedName(
+    const std::string& qualified) const {
+  const size_t dot = qualified.find('.');
+  if (dot == std::string::npos) {
+    return Status::InvalidArgument("expected '<table>.<column>', got '" +
+                                   qualified + "'");
+  }
+  HETDB_ASSIGN_OR_RETURN(TablePtr table, GetTable(qualified.substr(0, dot)));
+  return table->GetColumn(qualified.substr(dot + 1));
+}
+
+std::vector<TablePtr> Database::tables() const {
+  std::vector<TablePtr> result;
+  result.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) result.push_back(table);
+  return result;
+}
+
+size_t Database::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->data_bytes();
+  return total;
+}
+
+void Database::ResetAccessCounters() {
+  for (const auto& [name, table] : tables_) {
+    for (const auto& column : table->columns()) column->ResetAccessCount();
+  }
+}
+
+}  // namespace hetdb

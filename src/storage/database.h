@@ -1,0 +1,45 @@
+#ifndef HETDB_STORAGE_DATABASE_H_
+#define HETDB_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hetdb {
+
+/// In-memory catalog of base tables.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Status AddTable(TablePtr table);
+  Result<TablePtr> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  /// Resolves "<table>.<column>" to the column, or NotFound.
+  Result<ColumnPtr> GetColumnByQualifiedName(const std::string& qualified) const;
+
+  std::vector<TablePtr> tables() const;
+
+  /// Total bytes of all base table data (paper Figure 16 input).
+  size_t TotalBytes() const;
+
+  /// Clears all access counters (used between workload phases).
+  void ResetAccessCounters();
+
+ private:
+  std::unordered_map<std::string, TablePtr> tables_;
+};
+
+using DatabasePtr = std::shared_ptr<Database>;
+
+}  // namespace hetdb
+
+#endif  // HETDB_STORAGE_DATABASE_H_

@@ -1,0 +1,395 @@
+#include "tpch/tpch_queries.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hetdb {
+
+namespace {
+
+Result<PlanNodePtr> Scan(const Database& db, const std::string& table,
+                         std::vector<std::string> columns) {
+  HETDB_ASSIGN_OR_RETURN(TablePtr t, db.GetTable(table));
+  return PlanNodePtr(std::make_shared<ScanNode>(t, std::move(columns)));
+}
+
+PlanNodePtr Select(PlanNodePtr child, ConjunctiveFilter filter) {
+  return std::make_shared<SelectNode>(std::move(child), std::move(filter));
+}
+
+PlanNodePtr Join(PlanNodePtr build, PlanNodePtr probe, std::string build_key,
+                 std::string probe_key, JoinOutputSpec spec) {
+  return std::make_shared<JoinNode>(std::move(build), std::move(probe),
+                                    std::move(build_key), std::move(probe_key),
+                                    std::move(spec));
+}
+
+PlanNodePtr Project(PlanNodePtr child, std::vector<std::string> keep,
+                    std::vector<ArithmeticExpr> exprs) {
+  return std::make_shared<ProjectNode>(std::move(child), std::move(keep),
+                                       std::move(exprs));
+}
+
+PlanNodePtr Agg(PlanNodePtr child, std::vector<std::string> group_by,
+                std::vector<AggregateSpec> aggs) {
+  return std::make_shared<AggregateNode>(std::move(child), std::move(group_by),
+                                         std::move(aggs));
+}
+
+PlanNodePtr OrderBy(PlanNodePtr child, std::vector<SortKey> keys) {
+  return std::make_shared<SortNode>(std::move(child), std::move(keys));
+}
+
+PlanNodePtr Limit(PlanNodePtr child, size_t n) {
+  return std::make_shared<LimitNode>(std::move(child), n);
+}
+
+JoinOutputSpec Out(std::vector<std::string> build,
+                   std::vector<std::string> probe,
+                   std::vector<std::string> build_aliases = {},
+                   std::vector<std::string> probe_aliases = {}) {
+  JoinOutputSpec spec;
+  spec.build_columns = std::move(build);
+  spec.probe_columns = std::move(probe);
+  spec.build_aliases = std::move(build_aliases);
+  spec.probe_aliases = std::move(probe_aliases);
+  return spec;
+}
+
+AggregateSpec Sum(std::string input, std::string output) {
+  return AggregateSpec{AggregateFn::kSum, std::move(input), std::move(output)};
+}
+
+AggregateSpec CountAll(std::string output) {
+  return AggregateSpec{AggregateFn::kCount, "", std::move(output)};
+}
+
+/// revenue = l_extendedprice * (100 - l_discount): two stacked projections
+/// (the second references the first's output). Keeps `carry` columns.
+PlanNodePtr RevenueExpr(PlanNodePtr child, std::vector<std::string> carry,
+                        const std::string& output_name) {
+  std::vector<std::string> keep1 = carry;
+  keep1.push_back("l_extendedprice");
+  PlanNodePtr p1 = Project(
+      std::move(child), std::move(keep1),
+      {ArithmeticExpr::ConstantMinusColumn("disc100", 100, "l_discount")});
+  return Project(std::move(p1), std::move(carry),
+                 {ArithmeticExpr::ColumnOp(output_name,
+                                           ArithmeticExpr::Op::kMul,
+                                           "l_extendedprice", "disc100")});
+}
+
+// --- Q2: minimum-cost supplier -------------------------------------------------
+
+/// Candidate rows: (ps_partkey, ps_supplycost, s_acctbal, n_name) for
+/// European suppliers of size-15 BRASS parts.
+Result<PlanNodePtr> Q2Candidates(const Database& db) {
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr region,
+                         Scan(db, "region", {"r_regionkey", "r_name"}));
+  PlanNodePtr region_f = Select(
+      std::move(region), ConjunctiveFilter::And({Predicate::Eq("r_name",
+                                                               "EUROPE")}));
+  HETDB_ASSIGN_OR_RETURN(
+      PlanNodePtr nation,
+      Scan(db, "nation", {"n_nationkey", "n_name", "n_regionkey"}));
+  PlanNodePtr jn = Join(std::move(region_f), std::move(nation), "r_regionkey",
+                        "n_regionkey", Out({}, {"n_nationkey", "n_name"}));
+  HETDB_ASSIGN_OR_RETURN(
+      PlanNodePtr supplier,
+      Scan(db, "supplier", {"s_suppkey", "s_nationkey", "s_acctbal"}));
+  PlanNodePtr js =
+      Join(std::move(jn), std::move(supplier), "n_nationkey", "s_nationkey",
+           Out({"n_name"}, {"s_suppkey", "s_acctbal"}));
+  HETDB_ASSIGN_OR_RETURN(
+      PlanNodePtr partsupp,
+      Scan(db, "partsupp", {"ps_partkey", "ps_suppkey", "ps_supplycost"}));
+  PlanNodePtr jps = Join(std::move(js), std::move(partsupp), "s_suppkey",
+                         "ps_suppkey",
+                         Out({"n_name", "s_acctbal"},
+                             {"ps_partkey", "ps_supplycost"}));
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr part,
+                         Scan(db, "part", {"p_partkey", "p_size", "p_type3"}));
+  PlanNodePtr part_f = Select(
+      std::move(part),
+      ConjunctiveFilter::And({Predicate::Eq("p_size", int64_t{15}),
+                              Predicate::Eq("p_type3", "BRASS")}));
+  return Join(std::move(part_f), std::move(jps), "p_partkey", "ps_partkey",
+              Out({}, {"n_name", "s_acctbal", "ps_partkey", "ps_supplycost"}));
+}
+
+Result<PlanNodePtr> Q2(const Database& db) {
+  // Aggregate side: min supplycost per part, over a duplicate candidate tree
+  // (plans are trees, not DAGs; the duplication is documented in the header).
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr cand_for_min, Q2Candidates(db));
+  PlanNodePtr min_agg =
+      Agg(std::move(cand_for_min), {"ps_partkey"},
+          {AggregateSpec{AggregateFn::kMin, "ps_supplycost", "min_sc"}});
+  PlanNodePtr min_key1 =
+      Project(std::move(min_agg), {"min_sc"},
+              {ArithmeticExpr::ConstantOp("kb", ArithmeticExpr::Op::kMul,
+                                          "ps_partkey", 100000)});
+  PlanNodePtr min_keyed =
+      Project(std::move(min_key1), {},
+              {ArithmeticExpr::ColumnOp("minkey", ArithmeticExpr::Op::kAdd,
+                                        "kb", "min_sc")});
+
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr candidates, Q2Candidates(db));
+  PlanNodePtr cand_key1 =
+      Project(std::move(candidates),
+              {"n_name", "s_acctbal", "ps_partkey", "ps_supplycost"},
+              {ArithmeticExpr::ConstantOp("kb2", ArithmeticExpr::Op::kMul,
+                                          "ps_partkey", 100000)});
+  PlanNodePtr cand_keyed =
+      Project(std::move(cand_key1), {"n_name", "s_acctbal", "ps_partkey"},
+              {ArithmeticExpr::ColumnOp("candkey", ArithmeticExpr::Op::kAdd,
+                                        "kb2", "ps_supplycost")});
+
+  PlanNodePtr joined =
+      Join(std::move(min_keyed), std::move(cand_keyed), "minkey", "candkey",
+           Out({}, {"s_acctbal", "n_name", "ps_partkey"}));
+  PlanNodePtr sorted =
+      OrderBy(std::move(joined),
+              {{"s_acctbal", false}, {"n_name", true}, {"ps_partkey", true}});
+  return Limit(std::move(sorted), 100);
+}
+
+// --- Q3: shipping priority ------------------------------------------------------
+
+Result<PlanNodePtr> Q3(const Database& db) {
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr customer,
+                         Scan(db, "customer", {"c_custkey", "c_mktsegment"}));
+  PlanNodePtr customer_f =
+      Select(std::move(customer),
+             ConjunctiveFilter::And({Predicate::Eq("c_mktsegment",
+                                                   "BUILDING")}));
+  HETDB_ASSIGN_OR_RETURN(
+      PlanNodePtr orders,
+      Scan(db, "orders",
+           {"o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"}));
+  PlanNodePtr orders_f = Select(
+      std::move(orders),
+      ConjunctiveFilter::And({Predicate::Lt("o_orderdate", int64_t{19950315})}));
+  PlanNodePtr j1 =
+      Join(std::move(customer_f), std::move(orders_f), "c_custkey",
+           "o_custkey", Out({}, {"o_orderkey", "o_orderdate",
+                                 "o_shippriority"}));
+  HETDB_ASSIGN_OR_RETURN(
+      PlanNodePtr lineitem,
+      Scan(db, "lineitem",
+           {"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"}));
+  PlanNodePtr lineitem_f = Select(
+      std::move(lineitem),
+      ConjunctiveFilter::And({Predicate::Gt("l_shipdate", int64_t{19950315})}));
+  PlanNodePtr j2 =
+      Join(std::move(j1), std::move(lineitem_f), "o_orderkey", "l_orderkey",
+           Out({"o_orderkey", "o_orderdate", "o_shippriority"},
+               {"l_extendedprice", "l_discount"}));
+  PlanNodePtr rev = RevenueExpr(
+      std::move(j2), {"o_orderkey", "o_orderdate", "o_shippriority"}, "rev");
+  PlanNodePtr agg = Agg(std::move(rev),
+                        {"o_orderkey", "o_orderdate", "o_shippriority"},
+                        {Sum("rev", "revenue")});
+  PlanNodePtr sorted =
+      OrderBy(std::move(agg), {{"revenue", false}, {"o_orderdate", true}});
+  return Limit(std::move(sorted), 10);
+}
+
+// --- Q4: order priority checking -------------------------------------------------
+
+Result<PlanNodePtr> Q4(const Database& db) {
+  HETDB_ASSIGN_OR_RETURN(
+      PlanNodePtr lineitem,
+      Scan(db, "lineitem", {"l_orderkey", "l_commitdate", "l_receiptdate"}));
+  // EXISTS(l_commitdate < l_receiptdate): cross-column compare via projected
+  // difference, then dedup order keys with a group-by (semi-join rewrite).
+  PlanNodePtr late = Project(
+      std::move(lineitem), {"l_orderkey"},
+      {ArithmeticExpr::ColumnOp("late_days", ArithmeticExpr::Op::kSub,
+                                "l_receiptdate", "l_commitdate")});
+  PlanNodePtr late_f = Select(
+      std::move(late),
+      ConjunctiveFilter::And({Predicate::Gt("late_days", int64_t{0})}));
+  PlanNodePtr keys = Agg(std::move(late_f), {"l_orderkey"},
+                         {CountAll("late_lines")});
+  HETDB_ASSIGN_OR_RETURN(
+      PlanNodePtr orders,
+      Scan(db, "orders", {"o_orderkey", "o_orderdate", "o_orderpriority"}));
+  PlanNodePtr orders_f =
+      Select(std::move(orders),
+             ConjunctiveFilter::And({Predicate::Between(
+                 "o_orderdate", int64_t{19930701}, int64_t{19930930})}));
+  PlanNodePtr joined = Join(std::move(keys), std::move(orders_f), "l_orderkey",
+                            "o_orderkey", Out({}, {"o_orderpriority"}));
+  PlanNodePtr agg = Agg(std::move(joined), {"o_orderpriority"},
+                        {CountAll("order_count")});
+  return OrderBy(std::move(agg), {{"o_orderpriority", true}});
+}
+
+// --- Q5: local supplier volume ----------------------------------------------------
+
+Result<PlanNodePtr> Q5(const Database& db) {
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr region,
+                         Scan(db, "region", {"r_regionkey", "r_name"}));
+  PlanNodePtr region_f = Select(
+      std::move(region), ConjunctiveFilter::And({Predicate::Eq("r_name",
+                                                               "ASIA")}));
+  HETDB_ASSIGN_OR_RETURN(
+      PlanNodePtr nation,
+      Scan(db, "nation", {"n_nationkey", "n_name", "n_regionkey"}));
+  PlanNodePtr jn = Join(std::move(region_f), std::move(nation), "r_regionkey",
+                        "n_regionkey", Out({}, {"n_nationkey", "n_name"}));
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr customer,
+                         Scan(db, "customer", {"c_custkey", "c_nationkey"}));
+  PlanNodePtr jc =
+      Join(std::move(jn), std::move(customer), "n_nationkey", "c_nationkey",
+           Out({"n_nationkey", "n_name"}, {"c_custkey"}));
+  HETDB_ASSIGN_OR_RETURN(
+      PlanNodePtr orders,
+      Scan(db, "orders", {"o_orderkey", "o_custkey", "o_orderdate"}));
+  PlanNodePtr orders_f =
+      Select(std::move(orders),
+             ConjunctiveFilter::And({Predicate::Between(
+                 "o_orderdate", int64_t{19940101}, int64_t{19941231})}));
+  PlanNodePtr jo =
+      Join(std::move(jc), std::move(orders_f), "c_custkey", "o_custkey",
+           Out({"n_nationkey", "n_name"}, {"o_orderkey"}));
+  HETDB_ASSIGN_OR_RETURN(
+      PlanNodePtr lineitem,
+      Scan(db, "lineitem",
+           {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"}));
+  PlanNodePtr jl =
+      Join(std::move(jo), std::move(lineitem), "o_orderkey", "l_orderkey",
+           Out({"n_nationkey", "n_name"},
+               {"l_suppkey", "l_extendedprice", "l_discount"}));
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr supplier,
+                         Scan(db, "supplier", {"s_suppkey", "s_nationkey"}));
+  PlanNodePtr js =
+      Join(std::move(supplier), std::move(jl), "s_suppkey", "l_suppkey",
+           Out({"s_nationkey"},
+               {"n_nationkey", "n_name", "l_extendedprice", "l_discount"}));
+  // Enforce the "local supplier" condition c_nationkey == s_nationkey.
+  PlanNodePtr diff = Project(
+      std::move(js), {"n_name", "l_extendedprice", "l_discount"},
+      {ArithmeticExpr::ColumnOp("nkdiff", ArithmeticExpr::Op::kSub,
+                                "s_nationkey", "n_nationkey")});
+  PlanNodePtr local = Select(
+      std::move(diff),
+      ConjunctiveFilter::And({Predicate::Eq("nkdiff", int64_t{0})}));
+  PlanNodePtr rev = RevenueExpr(std::move(local), {"n_name"}, "rev");
+  PlanNodePtr agg = Agg(std::move(rev), {"n_name"}, {Sum("rev", "revenue")});
+  return OrderBy(std::move(agg), {{"revenue", false}});
+}
+
+// --- Q6: forecasting revenue change ------------------------------------------------
+
+Result<PlanNodePtr> Q6(const Database& db) {
+  HETDB_ASSIGN_OR_RETURN(
+      PlanNodePtr lineitem,
+      Scan(db, "lineitem",
+           {"l_shipdate", "l_discount", "l_quantity", "l_extendedprice"}));
+  PlanNodePtr filtered =
+      Select(std::move(lineitem),
+             ConjunctiveFilter::And(
+                 {Predicate::Between("l_shipdate", int64_t{19940101},
+                                     int64_t{19941231}),
+                  Predicate::Between("l_discount", int64_t{5}, int64_t{7}),
+                  Predicate::Lt("l_quantity", int64_t{24})}));
+  PlanNodePtr rev = Project(
+      std::move(filtered), {},
+      {ArithmeticExpr::ColumnOp("rev", ArithmeticExpr::Op::kMul,
+                                "l_extendedprice", "l_discount")});
+  return Agg(std::move(rev), {}, {Sum("rev", "revenue")});
+}
+
+// --- Q7: volume shipping -------------------------------------------------------------
+
+ConjunctiveFilter NationPairFilter() {
+  ConjunctiveFilter filter;
+  filter.conjuncts.push_back(Disjunction{Predicate::Eq("n_name", "FRANCE"),
+                                         Predicate::Eq("n_name", "GERMANY")});
+  return filter;
+}
+
+Result<PlanNodePtr> Q7(const Database& db) {
+  // Supplier side.
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr n1,
+                         Scan(db, "nation", {"n_nationkey", "n_name"}));
+  PlanNodePtr n1_f = Select(std::move(n1), NationPairFilter());
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr supplier,
+                         Scan(db, "supplier", {"s_suppkey", "s_nationkey"}));
+  PlanNodePtr jn1 =
+      Join(std::move(n1_f), std::move(supplier), "n_nationkey", "s_nationkey",
+           Out({"n_name", "n_nationkey"}, {"s_suppkey"},
+               {"supp_nation", "supp_nkey"}, {}));
+  HETDB_ASSIGN_OR_RETURN(
+      PlanNodePtr lineitem,
+      Scan(db, "lineitem", {"l_orderkey", "l_suppkey", "l_shipdate",
+                            "l_shipyear", "l_extendedprice", "l_discount"}));
+  PlanNodePtr lineitem_f =
+      Select(std::move(lineitem),
+             ConjunctiveFilter::And({Predicate::Between(
+                 "l_shipdate", int64_t{19950101}, int64_t{19961231})}));
+  PlanNodePtr jl =
+      Join(std::move(jn1), std::move(lineitem_f), "s_suppkey", "l_suppkey",
+           Out({"supp_nation", "supp_nkey"},
+               {"l_orderkey", "l_shipyear", "l_extendedprice", "l_discount"}));
+
+  // Customer side.
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr n2,
+                         Scan(db, "nation", {"n_nationkey", "n_name"}));
+  PlanNodePtr n2_f = Select(std::move(n2), NationPairFilter());
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr customer,
+                         Scan(db, "customer", {"c_custkey", "c_nationkey"}));
+  PlanNodePtr jn2 =
+      Join(std::move(n2_f), std::move(customer), "n_nationkey", "c_nationkey",
+           Out({"n_name", "n_nationkey"}, {"c_custkey"},
+               {"cust_nation", "cust_nkey"}, {}));
+  HETDB_ASSIGN_OR_RETURN(PlanNodePtr orders,
+                         Scan(db, "orders", {"o_orderkey", "o_custkey"}));
+  PlanNodePtr jo =
+      Join(std::move(jn2), std::move(orders), "c_custkey", "o_custkey",
+           Out({"cust_nation", "cust_nkey"}, {"o_orderkey"}));
+
+  PlanNodePtr joined =
+      Join(std::move(jo), std::move(jl), "o_orderkey", "l_orderkey",
+           Out({"cust_nation", "cust_nkey"},
+               {"supp_nation", "supp_nkey", "l_shipyear", "l_extendedprice",
+                "l_discount"}));
+  // (FRANCE, GERMANY) or (GERMANY, FRANCE): both sides already restricted to
+  // the pair, so it remains to exclude equal nations.
+  PlanNodePtr diff = Project(
+      std::move(joined),
+      {"supp_nation", "cust_nation", "l_shipyear", "l_extendedprice",
+       "l_discount"},
+      {ArithmeticExpr::ColumnOp("nkdiff", ArithmeticExpr::Op::kSub,
+                                "supp_nkey", "cust_nkey")});
+  PlanNodePtr pairs = Select(
+      std::move(diff),
+      ConjunctiveFilter::And({Predicate::Ne("nkdiff", int64_t{0})}));
+  PlanNodePtr rev = RevenueExpr(
+      std::move(pairs), {"supp_nation", "cust_nation", "l_shipyear"}, "volume");
+  PlanNodePtr agg = Agg(std::move(rev),
+                        {"supp_nation", "cust_nation", "l_shipyear"},
+                        {Sum("volume", "revenue")});
+  return OrderBy(std::move(agg), {{"supp_nation", true},
+                                  {"cust_nation", true},
+                                  {"l_shipyear", true}});
+}
+
+}  // namespace
+
+std::vector<NamedQuery> TpchQueries() {
+  return {
+      {"Q2", Q2}, {"Q3", Q3}, {"Q4", Q4}, {"Q5", Q5}, {"Q6", Q6}, {"Q7", Q7},
+  };
+}
+
+Result<NamedQuery> TpchQueryByName(const std::string& name) {
+  for (NamedQuery& query : TpchQueries()) {
+    if (query.name == name) return query;
+  }
+  return Status::NotFound("no TPC-H query named '" + name + "'");
+}
+
+}  // namespace hetdb

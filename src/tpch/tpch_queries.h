@@ -1,0 +1,26 @@
+#ifndef HETDB_TPCH_TPCH_QUERIES_H_
+#define HETDB_TPCH_TPCH_QUERIES_H_
+
+#include "ssb/ssb_queries.h"  // NamedQuery
+
+namespace hetdb {
+
+/// The TPC-H subset evaluated in the paper (Q2–Q7, Appendix C.2), as plan
+/// builders over the schema produced by GenerateTpchDatabase.
+///
+/// Deviations from the standard SQL, mirroring the paper's modifications:
+///  * Q2's "p_type like '%BRASS'" is an equality on the materialized third
+///    type syllable `p_type3`; the correlated min-supplycost subquery is
+///    evaluated as a group-by over a duplicated candidate subtree and joined
+///    back on a composite (partkey, supplycost) key.
+///  * Q4's EXISTS becomes a group-by on qualifying lineitem orderkeys
+///    followed by a key join (an equivalent semi-join rewrite).
+///  * Q5's and Q7's cross-column nation conditions are evaluated with a
+///    projected key difference followed by a selection.
+std::vector<NamedQuery> TpchQueries();
+
+Result<NamedQuery> TpchQueryByName(const std::string& name);
+
+}  // namespace hetdb
+
+#endif  // HETDB_TPCH_TPCH_QUERIES_H_

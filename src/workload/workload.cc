@@ -1,0 +1,199 @@
+#include "workload/workload.h"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace hetdb {
+
+namespace {
+
+/// One measurement-phase task: an index into the expanded query list.
+struct SessionStats {
+  std::map<std::string, double> latency_sum_ms;
+  std::map<std::string, int> latency_count;
+  uint64_t failed = 0;
+};
+
+}  // namespace
+
+std::string WorkloadRunResult::ToString() const {
+  std::ostringstream os;
+  os << "wall=" << wall_millis << "ms h2d=" << h2d_transfer_millis
+     << "ms d2h=" << d2h_transfer_millis << "ms aborts=" << gpu_aborts
+     << " wasted=" << wasted_millis << "ms gpu_ops=" << gpu_operators
+     << " cpu_ops=" << cpu_operators << " queries=" << queries_run;
+  if (failed_queries > 0) os << " FAILED=" << failed_queries;
+  return os.str();
+}
+
+WorkloadRunResult RunWorkload(StrategyRunner& runner,
+                              const std::vector<NamedQuery>& queries,
+                              const WorkloadRunOptions& options) {
+  EngineContext& ctx = runner.ctx();
+  const Database& db = *ctx.database();
+
+  // --- Warm-up phase ---------------------------------------------------------
+  for (int rep = 0; rep < options.warmup_repetitions; ++rep) {
+    for (const NamedQuery& query : queries) {
+      Result<PlanNodePtr> plan = query.builder(db);
+      HETDB_CHECK(plan.ok());
+      Result<TablePtr> result = runner.RunQuery(plan.value());
+      if (!result.ok()) {
+        HETDB_LOG(Warning) << "warm-up query " << query.name
+                           << " failed: " << result.status().ToString();
+      }
+    }
+  }
+  if (options.refresh_data_placement) {
+    runner.RefreshDataPlacement();
+  }
+  ctx.ResetRunStats();
+
+  // --- Measurement phase -----------------------------------------------------
+  // Fixed total work: queries x repetitions, handed out through a shared
+  // index so user threads stay busy until the workload is drained.
+  std::vector<const NamedQuery*> tasks;
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    for (const NamedQuery& query : queries) tasks.push_back(&query);
+  }
+  std::atomic<size_t> next_task{0};
+  Semaphore admission(options.admission_limit > 0 ? options.admission_limit
+                                                  : 1 << 20);
+
+  const int num_users = std::max(1, options.num_users);
+  std::vector<SessionStats> session_stats(num_users);
+  std::vector<std::thread> sessions;
+  sessions.reserve(num_users);
+
+  Stopwatch workload_watch;
+  for (int user = 0; user < num_users; ++user) {
+    sessions.emplace_back([&, user] {
+      SessionStats& stats = session_stats[user];
+      while (true) {
+        const size_t index = next_task.fetch_add(1, std::memory_order_relaxed);
+        if (index >= tasks.size()) break;
+        const NamedQuery& query = *tasks[index];
+        Result<PlanNodePtr> plan = query.builder(db);
+        if (!plan.ok()) {
+          ++stats.failed;
+          continue;
+        }
+        admission.Acquire();
+        Stopwatch latency;
+        Result<TablePtr> result = runner.RunQuery(plan.value());
+        const double ms = latency.ElapsedMillis();
+        admission.Release();
+        if (!result.ok()) {
+          ++stats.failed;
+          continue;
+        }
+        stats.latency_sum_ms[query.name] += ms;
+        stats.latency_count[query.name] += 1;
+      }
+    });
+  }
+  for (std::thread& session : sessions) session.join();
+
+  // --- Collect metrics ---------------------------------------------------------
+  WorkloadRunResult result;
+  result.wall_millis = workload_watch.ElapsedMillis();
+  PcieBus& bus = ctx.simulator().bus();
+  // Bus counters record modeled (unscaled) durations; scale them to the same
+  // wall-clock units as wall_millis.
+  const double scale =
+      ctx.config().simulate_time ? ctx.config().time_scale : 1.0;
+  result.h2d_transfer_millis =
+      bus.transfer_micros(TransferDirection::kHostToDevice) * scale / 1000.0;
+  result.d2h_transfer_millis =
+      bus.transfer_micros(TransferDirection::kDeviceToHost) * scale / 1000.0;
+  result.h2d_bytes = bus.transferred_bytes(TransferDirection::kHostToDevice);
+  result.d2h_bytes = bus.transferred_bytes(TransferDirection::kDeviceToHost);
+  result.gpu_aborts = ctx.metrics().gpu_operator_aborts();
+  result.wasted_millis = ctx.metrics().wasted_micros() / 1000.0;
+  result.cpu_operators = ctx.metrics().cpu_operators();
+  result.gpu_operators = ctx.metrics().gpu_operators();
+  result.queries_run = ctx.metrics().queries_completed();
+
+  std::map<std::string, double> latency_sums;
+  std::map<std::string, int> latency_counts;
+  for (const SessionStats& stats : session_stats) {
+    result.failed_queries += stats.failed;
+    for (const auto& [name, sum] : stats.latency_sum_ms) latency_sums[name] += sum;
+    for (const auto& [name, count] : stats.latency_count) {
+      latency_counts[name] += count;
+    }
+  }
+  for (const auto& [name, sum] : latency_sums) {
+    result.latency_ms_by_query[name] = sum / latency_counts[name];
+  }
+  return result;
+}
+
+std::vector<NamedQuery> SerialSelectionQueries() {
+  // Appendix B.1 (Listing 1): eight selections, each filtering a different
+  // lineorder measure column, executed interleaved so an LRU cache one
+  // column short always evicts the column the next query needs.
+  auto lt1 = [](const char* c) { return Predicate::Lt(c, int64_t{1}); };
+  auto gt10 = [](const char* c) { return Predicate::Gt(c, int64_t{10}); };
+  auto gt0 = [](const char* c) { return Predicate::Gt(c, int64_t{0}); };
+  auto lt100 = [](const char* c) { return Predicate::Lt(c, int64_t{100}); };
+  auto lt1000 = [](const char* c) { return Predicate::Lt(c, int64_t{1000}); };
+
+  const std::vector<std::pair<const char*, Predicate>> specs = {
+      {"lo_quantity", lt1("lo_quantity")},
+      {"lo_discount", gt10("lo_discount")},
+      {"lo_shippriority", gt0("lo_shippriority")},
+      {"lo_extendedprice", lt100("lo_extendedprice")},
+      {"lo_ordtotalprice", lt100("lo_ordtotalprice")},
+      {"lo_revenue", lt1000("lo_revenue")},
+      {"lo_supplycost", lt1000("lo_supplycost")},
+      {"lo_tax", gt10("lo_tax")},
+  };
+
+  std::vector<NamedQuery> queries;
+  for (const auto& [column, predicate] : specs) {
+    const std::string name = std::string("sel(") + column + ")";
+    const std::string col = column;
+    const Predicate pred = predicate;
+    queries.push_back(NamedQuery{
+        name, [col, pred](const Database& db) -> Result<PlanNodePtr> {
+          HETDB_ASSIGN_OR_RETURN(TablePtr lineorder, db.GetTable("lineorder"));
+          PlanNodePtr scan = std::make_shared<ScanNode>(
+              lineorder, std::vector<std::string>{col});
+          return PlanNodePtr(std::make_shared<SelectNode>(
+              std::move(scan), ConjunctiveFilter::And({pred})));
+        }});
+  }
+  return queries;
+}
+
+std::vector<NamedQuery> ParallelSelectionQueries() {
+  // Appendix B.2 (Listing 2): derived from SSB Q1.1; four consecutive
+  // operators (scan, two selections, count) over two cache-resident columns.
+  NamedQuery query{
+      "psel", [](const Database& db) -> Result<PlanNodePtr> {
+        HETDB_ASSIGN_OR_RETURN(TablePtr lineorder, db.GetTable("lineorder"));
+        PlanNodePtr scan = std::make_shared<ScanNode>(
+            lineorder, std::vector<std::string>{"lo_discount", "lo_quantity"});
+        PlanNodePtr s1 = std::make_shared<SelectNode>(
+            std::move(scan),
+            ConjunctiveFilter::And(
+                {Predicate::Between("lo_discount", int64_t{4}, int64_t{6})}));
+        PlanNodePtr s2 = std::make_shared<SelectNode>(
+            std::move(s1),
+            ConjunctiveFilter::And(
+                {Predicate::Between("lo_quantity", int64_t{26}, int64_t{35})}));
+        return PlanNodePtr(std::make_shared<AggregateNode>(
+            std::move(s2), std::vector<std::string>{},
+            std::vector<AggregateSpec>{
+                AggregateSpec{AggregateFn::kCount, "", "matches"}}));
+      }};
+  return {query};
+}
+
+}  // namespace hetdb

@@ -1,0 +1,71 @@
+#ifndef HETDB_WORKLOAD_WORKLOAD_H_
+#define HETDB_WORKLOAD_WORKLOAD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "placement/strategy_runner.h"
+#include "ssb/ssb_queries.h"
+
+namespace hetdb {
+
+/// How a workload run is driven (Section 6.1 protocol).
+struct WorkloadRunOptions {
+  /// Parallel user sessions. The *total* amount of work is fixed by
+  /// `repetitions`; users only change how much of it runs concurrently —
+  /// exactly the paper's parallel-user experiments.
+  int num_users = 1;
+  /// How many times the query list is executed in total.
+  int repetitions = 1;
+  /// Warm-up executions of the query list before measuring (the paper runs
+  /// the workload twice to warm up).
+  int warmup_repetitions = 1;
+  /// Run the Algorithm-1 data placement job after warm-up (loads the device
+  /// cache according to observed access frequencies).
+  bool refresh_data_placement = true;
+  /// >0: admission control — at most this many queries run concurrently
+  /// (the Wang-et-al. style baseline in Figure 21).
+  int admission_limit = 0;
+};
+
+/// Aggregated measurements of one workload run.
+struct WorkloadRunResult {
+  double wall_millis = 0;           ///< workload span (response time)
+  double h2d_transfer_millis = 0;   ///< Figures 6, 15, 19
+  double d2h_transfer_millis = 0;
+  uint64_t h2d_bytes = 0;
+  uint64_t d2h_bytes = 0;
+  uint64_t gpu_aborts = 0;          ///< Figure 13
+  double wasted_millis = 0;         ///< Figure 20
+  uint64_t cpu_operators = 0;
+  uint64_t gpu_operators = 0;
+  uint64_t queries_run = 0;
+  uint64_t failed_queries = 0;
+  /// Mean latency per query name, milliseconds (Figures 17, 21, 25).
+  std::map<std::string, double> latency_ms_by_query;
+
+  std::string ToString() const;
+};
+
+/// Executes `queries` x repetitions under `runner`'s strategy with
+/// `options.num_users` session threads pulling from a shared queue, after
+/// warm-up and (optionally) a data placement refresh. Metrics and bus/cache
+/// statistics are reset after warm-up so the result covers only the measured
+/// phase.
+WorkloadRunResult RunWorkload(StrategyRunner& runner,
+                              const std::vector<NamedQuery>& queries,
+                              const WorkloadRunOptions& options);
+
+/// Appendix B.1: the serial selection micro-workload — eight interleaved
+/// single-column selections over the SSB lineorder measure columns. One
+/// "repetition" is one pass over the eight queries.
+std::vector<NamedQuery> SerialSelectionQueries();
+
+/// Appendix B.2: the parallel selection micro-workload — one selection query
+/// filtering lo_discount and lo_quantity, executed by many users.
+std::vector<NamedQuery> ParallelSelectionQueries();
+
+}  // namespace hetdb
+
+#endif  // HETDB_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace hetdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::ResourceExhausted("out of device memory");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(status.ToString(), "ResourceExhausted: out of device memory");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kResourceExhausted,
+        StatusCode::kInternal, StatusCode::kNotImplemented,
+        StatusCode::kAborted}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(std::move(result).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 7);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubleIt(int x) {
+  HETDB_ASSIGN_OR_RETURN(int parsed, ParsePositive(x));
+  return parsed * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(DoubleIt(21).value(), 42);
+  EXPECT_EQ(DoubleIt(-1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // mean of U[0,1)
+}
+
+TEST(ConfigTest, HeapIsMemoryMinusCache) {
+  SystemConfig config;
+  config.device_memory_bytes = 100;
+  config.device_cache_bytes = 30;
+  EXPECT_EQ(config.device_heap_bytes(), 70u);
+  config.device_cache_bytes = 200;  // degenerate: cache exceeds memory
+  EXPECT_EQ(config.device_heap_bytes(), 0u);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch watch;
+  const int64_t t1 = watch.ElapsedMicros();
+  const int64_t t2 = watch.ElapsedMicros();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(t1, 0);
+}
+
+}  // namespace
+}  // namespace hetdb

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "cache/data_cache.h"
+#include "placement/strategy_runner.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/ssb_queries.h"
+#include "tests/test_util.h"
+
+namespace hetdb {
+namespace {
+
+TEST(CompressedBytesTest, BitPackingFollowsValueRange) {
+  // Values in [0, 10]: 4 bits each.
+  Int32Column narrow("n", std::vector<int32_t>(800, 0));
+  narrow.mutable_values().back() = 10;
+  EXPECT_EQ(narrow.compressed_bytes(), 800u * 4 / 8 + 16);
+  // Frame of reference: a large but narrow-range domain packs equally well.
+  std::vector<int32_t> offset(800, 1000000);
+  offset.back() = 1000010;
+  Int32Column shifted("s", std::move(offset));
+  EXPECT_EQ(shifted.compressed_bytes(), 800u * 4 / 8 + 16);
+  // Full-range data barely compresses.
+  std::vector<int32_t> wide(800);
+  for (int i = 0; i < 800; ++i) wide[i] = i * 2654435761u;
+  Int32Column random("r", std::move(wide));
+  EXPECT_GT(random.compressed_bytes(), 800u * 28 / 8);
+}
+
+TEST(CompressedBytesTest, ConstantColumnPacksToOneBit) {
+  Int32Column constant("c", std::vector<int32_t>(800, 7));
+  EXPECT_EQ(constant.compressed_bytes(), 800u / 8 + 16);
+}
+
+TEST(CompressedBytesTest, AppendsInvalidateTheCache) {
+  Int32Column column("c", std::vector<int32_t>(800, 0));
+  const size_t before = column.compressed_bytes();
+  column.Append(1 << 20);  // widens the range
+  EXPECT_GT(column.compressed_bytes(), before);
+}
+
+TEST(CompressedBytesTest, StringColumnsPackDictionaryCodes) {
+  auto column = StringColumn::FromDictionary("s", {"a", "b", "c"});
+  for (int i = 0; i < 800; ++i) column->AppendCode(i % 3);
+  // 3 dictionary entries: 2 bits per code.
+  EXPECT_EQ(column->compressed_bytes(), 800u * 2 / 8 + 16 + 3);
+  EXPECT_LT(column->compressed_bytes(), column->data_bytes());
+}
+
+TEST(CompressedBytesTest, DoublesUseByteLevelEstimate) {
+  DoubleColumn column("d", std::vector<double>(100, 1.5));
+  EXPECT_EQ(column.compressed_bytes(), 100 * 8 / 2 + 16u);
+}
+
+TEST(CompressedCacheTest, EntriesChargeCompressedBytes) {
+  SystemConfig config;
+  config.simulate_time = false;
+  Simulator sim(config);
+  auto column = std::make_shared<Int32Column>(
+      "c", std::vector<int32_t>(1000, 3));  // 1 bit/value
+  DataCache plain(1 << 20, EvictionPolicy::kLfu, &sim, /*compress=*/false);
+  DataCache packed(1 << 20, EvictionPolicy::kLfu, &sim, /*compress=*/true);
+  { auto a = plain.RequireOnDevice(column, "t.c"); }
+  { auto a = packed.RequireOnDevice(column, "t.c"); }
+  EXPECT_EQ(plain.used_bytes(), 4000u);
+  EXPECT_EQ(packed.used_bytes(), column->compressed_bytes());
+  EXPECT_LT(packed.used_bytes(), plain.used_bytes() / 10);
+}
+
+TEST(CompressedCacheTest, CompressionShrinksTransfers) {
+  SystemConfig config;
+  config.simulate_time = false;
+  config.compress_device_cache = true;
+  config.device_cache_bytes = 1 << 20;
+  config.device_memory_bytes = 2 << 20;
+
+  SsbGeneratorOptions gen;
+  gen.scale_factor = 0.1;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  // Same query, compressed vs uncompressed cache: fewer bytes on the bus.
+  uint64_t bytes_compressed = 0, bytes_plain = 0;
+  for (bool compress : {false, true}) {
+    SystemConfig variant = config;
+    variant.compress_device_cache = compress;
+    EngineContext ctx(variant, db);
+    StrategyRunner runner(&ctx, Strategy::kGpuOnly);
+    Result<NamedQuery> query = SsbQueryByName("Q1.1");
+    ASSERT_TRUE(query.ok());
+    Result<PlanNodePtr> plan = query->builder(*db);
+    ASSERT_TRUE(plan.ok());
+    Result<TablePtr> result = runner.RunQuery(plan.value());
+    ASSERT_TRUE(result.ok());
+    const uint64_t bytes = ctx.simulator().bus().transferred_bytes(
+        TransferDirection::kHostToDevice);
+    (compress ? bytes_compressed : bytes_plain) = bytes;
+  }
+  EXPECT_LT(bytes_compressed, bytes_plain);
+}
+
+TEST(CompressedCacheTest, ResultsUnaffectedByCompression) {
+  SsbGeneratorOptions gen;
+  gen.scale_factor = 0.1;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+  TablePtr expected;
+  for (bool compress : {false, true}) {
+    SystemConfig config = TestConfig();
+    config.compress_device_cache = compress;
+    EngineContext ctx(config, db);
+    StrategyRunner runner(&ctx, Strategy::kDataDrivenChopping);
+    runner.RefreshDataPlacement();
+    Result<NamedQuery> query = SsbQueryByName("Q2.1");
+    ASSERT_TRUE(query.ok());
+    Result<PlanNodePtr> plan = query->builder(*db);
+    ASSERT_TRUE(plan.ok());
+    Result<TablePtr> result = runner.RunQuery(plan.value());
+    ASSERT_TRUE(result.ok());
+    if (expected == nullptr) {
+      expected = result.value();
+    } else {
+      EXPECT_TRUE(TablesEqual(*expected, *result.value()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetdb

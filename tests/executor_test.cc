@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "engine/chopping_executor.h"
+#include "engine/query_executor.h"
+#include "placement/compile_time.h"
+#include "placement/runtime.h"
+#include "tests/test_util.h"
+
+namespace hetdb {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTinyDb();
+    ctx_ = std::make_unique<EngineContext>(TestConfig(), db_);
+  }
+
+  PlanNodePtr ScanFact(std::vector<std::string> columns = {"fk", "v"}) {
+    return std::make_shared<ScanNode>(db_->GetTable("fact").value(),
+                                      std::move(columns));
+  }
+
+  PlanNodePtr SimplePlan() {
+    // select(v < 50) -> join dim -> aggregate sum(v) by name -> sort
+    PlanNodePtr select = std::make_shared<SelectNode>(
+        ScanFact(),
+        ConjunctiveFilter::And({Predicate::Lt("v", int64_t{50})}));
+    PlanNodePtr dim_scan = std::make_shared<ScanNode>(
+        db_->GetTable("dim").value(), std::vector<std::string>{"key", "name"});
+    JoinOutputSpec spec;
+    spec.build_columns = {"name"};
+    spec.probe_columns = {"v"};
+    PlanNodePtr join = std::make_shared<JoinNode>(
+        std::move(dim_scan), std::move(select), "key", "fk", spec);
+    PlanNodePtr agg = std::make_shared<AggregateNode>(
+        std::move(join), std::vector<std::string>{"name"},
+        std::vector<AggregateSpec>{{AggregateFn::kSum, "v", "total"}});
+    return std::make_shared<SortNode>(
+        std::move(agg), std::vector<SortKey>{{"name", true}});
+  }
+
+  DatabasePtr db_;
+  std::unique_ptr<EngineContext> ctx_;
+};
+
+TEST_F(ExecutorTest, CpuScanAliasesBaseColumns) {
+  PlanNodePtr scan = ScanFact();
+  auto result = ExecuteOperator(*scan, {}, ProcessorKind::kCpu, *ctx_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->location, ProcessorKind::kCpu);
+  EXPECT_TRUE(result->base_data);
+  EXPECT_EQ(result->table->num_rows(), 1000u);
+  // Zero-copy: the scan output shares the base column.
+  EXPECT_EQ(result->table->GetColumn("v").value().get(),
+            db_->GetTable("fact").value()->GetColumn("v").value().get());
+  // Access counters were bumped.
+  EXPECT_EQ(db_->GetTable("fact").value()->GetColumn("v").value()->access_count(),
+            1u);
+}
+
+TEST_F(ExecutorTest, GpuScanCachesColumns) {
+  PlanNodePtr scan = ScanFact();
+  auto result = ExecuteOperator(*scan, {}, ProcessorKind::kGpu, *ctx_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->location, ProcessorKind::kGpu);
+  EXPECT_TRUE(result->base_data);
+  EXPECT_EQ(result->cache_leases.size(), 2u);
+  EXPECT_TRUE(ctx_->cache().IsCached("fact.fk"));
+  EXPECT_TRUE(ctx_->cache().IsCached("fact.v"));
+  EXPECT_EQ(ctx_->simulator().bus().transferred_bytes(
+                TransferDirection::kHostToDevice),
+            8000u);
+  // A second scan hits the cache: no more transfers.
+  auto again = ExecuteOperator(*scan, {}, ProcessorKind::kGpu, *ctx_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ctx_->simulator().bus().transferred_bytes(
+                TransferDirection::kHostToDevice),
+            8000u);
+}
+
+TEST_F(ExecutorTest, GpuScanTransientWhenCacheTooSmall) {
+  SystemConfig config = TestConfig();
+  config.device_memory_bytes = 64 << 10;
+  config.device_cache_bytes = 1 << 10;  // 1 KB cache: columns don't fit
+  EngineContext ctx(config, db_);
+  PlanNodePtr scan = ScanFact();
+  auto result = ExecuteOperator(*scan, {}, ProcessorKind::kGpu, ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cache_leases.size(), 0u);
+  EXPECT_EQ(result->device_allocations.size(), 2u);
+  EXPECT_EQ(ctx.simulator().device_heap().used(), 8000u);
+  result->ReleaseDeviceResources();
+  EXPECT_EQ(ctx.simulator().device_heap().used(), 0u);
+}
+
+TEST_F(ExecutorTest, GpuScanAbortsWhenHeapAndCacheTooSmall) {
+  SystemConfig config = TestConfig();
+  config.device_memory_bytes = 2 << 10;
+  config.device_cache_bytes = 1 << 10;
+  EngineContext ctx(config, db_);
+  PlanNodePtr scan = ScanFact();
+  auto result = ExecuteOperator(*scan, {}, ProcessorKind::kGpu, ctx);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+  EXPECT_EQ(ctx.metrics().gpu_operator_aborts(), 1u);
+  EXPECT_EQ(ctx.simulator().device_heap().used(), 0u);  // rollback
+}
+
+TEST_F(ExecutorTest, GpuSelectOverCpuChildTransfersInput) {
+  PlanNodePtr scan = ScanFact({"v"});
+  auto child = ExecuteOperator(*scan, {}, ProcessorKind::kCpu, *ctx_);
+  ASSERT_TRUE(child.ok());
+  PlanNodePtr select = std::make_shared<SelectNode>(
+      ScanFact({"v"}), ConjunctiveFilter::And({Predicate::Lt("v", int64_t{10})}));
+  std::vector<OperatorResult*> inputs = {&child.value()};
+  auto result = ExecuteOperator(*select, inputs, ProcessorKind::kGpu, *ctx_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->location, ProcessorKind::kGpu);
+  EXPECT_FALSE(result->base_data);
+  // Input bytes crossed the bus; the result is held in device heap.
+  EXPECT_EQ(ctx_->simulator().bus().transferred_bytes(
+                TransferDirection::kHostToDevice),
+            4000u);
+  EXPECT_FALSE(result->device_allocations.empty());
+  EXPECT_GT(ctx_->simulator().device_heap().used(), 0u);
+}
+
+TEST_F(ExecutorTest, CpuConsumerOfGpuIntermediatePaysCopyBack) {
+  PlanNodePtr select = std::make_shared<SelectNode>(
+      ScanFact({"v"}), ConjunctiveFilter::And({Predicate::Lt("v", int64_t{10})}));
+  PlanNodePtr scan = select->children()[0];
+  auto scanned = ExecuteOperator(*scan, {}, ProcessorKind::kGpu, *ctx_);
+  ASSERT_TRUE(scanned.ok());
+  std::vector<OperatorResult*> scan_inputs = {&scanned.value()};
+  auto filtered =
+      ExecuteOperator(*select, scan_inputs, ProcessorKind::kGpu, *ctx_);
+  ASSERT_TRUE(filtered.ok());
+  const uint64_t d2h_before = ctx_->simulator().bus().transferred_bytes(
+      TransferDirection::kDeviceToHost);
+  // Aggregate on the CPU consumes the device-resident selection result.
+  PlanNodePtr agg = std::make_shared<AggregateNode>(
+      select, std::vector<std::string>{},
+      std::vector<AggregateSpec>{{AggregateFn::kSum, "v", "s"}});
+  std::vector<OperatorResult*> inputs = {&filtered.value()};
+  auto result = ExecuteOperator(*agg, inputs, ProcessorKind::kCpu, *ctx_);
+  ASSERT_TRUE(result.ok());
+  const uint64_t d2h_after = ctx_->simulator().bus().transferred_bytes(
+      TransferDirection::kDeviceToHost);
+  EXPECT_GT(d2h_after, d2h_before);
+  EXPECT_EQ(result->location, ProcessorKind::kCpu);
+}
+
+TEST_F(ExecutorTest, CpuConsumerOfGpuScanPaysNoCopyBack) {
+  PlanNodePtr scan = ScanFact({"v"});
+  auto scanned = ExecuteOperator(*scan, {}, ProcessorKind::kGpu, *ctx_);
+  ASSERT_TRUE(scanned.ok());
+  PlanNodePtr agg = std::make_shared<AggregateNode>(
+      scan, std::vector<std::string>{},
+      std::vector<AggregateSpec>{{AggregateFn::kSum, "v", "s"}});
+  std::vector<OperatorResult*> inputs = {&scanned.value()};
+  auto result = ExecuteOperator(*agg, inputs, ProcessorKind::kCpu, *ctx_);
+  ASSERT_TRUE(result.ok());
+  // Base data always has a host copy: no device-to-host traffic.
+  EXPECT_EQ(ctx_->simulator().bus().transferred_bytes(
+                TransferDirection::kDeviceToHost),
+            0u);
+}
+
+TEST_F(ExecutorTest, FallbackRestartsAbortedOperatorOnCpu) {
+  ctx_->simulator().device_heap().set_failure_injector(
+      [](size_t) { return true; });
+  PlanNodePtr scan = ScanFact({"v"});
+  auto scanned = ExecuteOperator(*scan, {}, ProcessorKind::kCpu, *ctx_);
+  ASSERT_TRUE(scanned.ok());
+  PlanNodePtr select = std::make_shared<SelectNode>(
+      scan, ConjunctiveFilter::And({Predicate::Lt("v", int64_t{10})}));
+  std::vector<OperatorResult*> inputs = {&scanned.value()};
+  auto executed = ExecuteWithFallback(*select, inputs, ProcessorKind::kGpu, *ctx_);
+  ASSERT_TRUE(executed.ok());
+  EXPECT_TRUE(executed->aborted);
+  EXPECT_EQ(executed->ran_on, ProcessorKind::kCpu);
+  EXPECT_EQ(ctx_->metrics().gpu_operator_aborts(), 1u);
+  EXPECT_EQ(executed->result.table->num_rows(), 110u);  // v in [0,10) of i%97
+}
+
+TEST_F(ExecutorTest, FallbackDoesNotMaskRealErrors) {
+  PlanNodePtr bad_select = std::make_shared<SelectNode>(
+      ScanFact({"v"}),
+      ConjunctiveFilter::And({Predicate::Lt("missing", int64_t{1})}));
+  std::vector<OperatorResult*> no_inputs;
+  auto scanned = ExecuteOperator(*bad_select->children()[0], no_inputs,
+                                 ProcessorKind::kCpu, *ctx_);
+  ASSERT_TRUE(scanned.ok());
+  std::vector<OperatorResult*> inputs = {&scanned.value()};
+  auto executed =
+      ExecuteWithFallback(*bad_select, inputs, ProcessorKind::kCpu, *ctx_);
+  EXPECT_FALSE(executed.ok());
+  EXPECT_EQ(executed.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, QueryExecutorRunsFullPlan) {
+  QueryExecutor executor(ctx_.get());
+  PlanNodePtr plan = SimplePlan();
+  auto result = executor.Execute(plan, PlaceCpuOnly(plan));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->num_rows(), 10u);
+  EXPECT_EQ(ctx_->metrics().queries_completed(), 1u);
+}
+
+TEST_F(ExecutorTest, AllPlacementsProduceIdenticalResults) {
+  QueryExecutor executor(ctx_.get());
+  PlanNodePtr plan_cpu = SimplePlan();
+  auto cpu = executor.Execute(plan_cpu, PlaceCpuOnly(plan_cpu));
+  ASSERT_TRUE(cpu.ok());
+  PlanNodePtr plan_gpu = SimplePlan();
+  auto gpu = executor.Execute(plan_gpu, PlaceGpuOnly(plan_gpu));
+  ASSERT_TRUE(gpu.ok());
+  EXPECT_TRUE(TablesEqual(*cpu.value(), *gpu.value()));
+}
+
+TEST_F(ExecutorTest, CompileTimePlacementSurvivesAborts) {
+  // Every device allocation fails: a GPU-only plan must still complete, all
+  // operators falling back to the CPU.
+  ctx_->simulator().device_heap().set_failure_injector(
+      [](size_t) { return true; });
+  QueryExecutor executor(ctx_.get());
+  PlanNodePtr plan = SimplePlan();
+  auto result = executor.Execute(plan, PlaceGpuOnly(plan));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(ctx_->metrics().gpu_operator_aborts(), 0u);
+  PlanNodePtr reference = SimplePlan();
+  EngineContext clean_ctx(TestConfig(), db_);
+  QueryExecutor clean(&clean_ctx);
+  auto expected = clean.Execute(reference, PlaceCpuOnly(reference));
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(TablesEqual(*expected.value(), *result.value()));
+}
+
+TEST_F(ExecutorTest, ChoppingExecutorMatchesCompileTime) {
+  QueryExecutor reference_executor(ctx_.get());
+  PlanNodePtr reference_plan = SimplePlan();
+  auto expected =
+      reference_executor.Execute(reference_plan, PlaceCpuOnly(reference_plan));
+  ASSERT_TRUE(expected.ok());
+
+  ChoppingExecutor chopping(ctx_.get(), 2, 1);
+  auto result = chopping.ExecuteQuery(SimplePlan(), MakeHypePlacer());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(TablesEqual(*expected.value(), *result.value()));
+}
+
+TEST_F(ExecutorTest, ChoppingHandlesManyConcurrentQueries) {
+  ChoppingExecutor chopping(ctx_.get(), 2, 1);
+  std::vector<std::future<Result<TablePtr>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(chopping.Submit(SimplePlan(), MakeDataDrivenPlacer()));
+  }
+  TablePtr first;
+  for (auto& future : futures) {
+    auto result = future.get();
+    ASSERT_TRUE(result.ok());
+    if (first == nullptr) {
+      first = result.value();
+    } else {
+      EXPECT_TRUE(TablesEqual(*first, *result.value()));
+    }
+  }
+  EXPECT_EQ(ctx_->metrics().queries_completed(), 16u);
+}
+
+TEST_F(ExecutorTest, ChoppingSurvivesAllocatorFailures) {
+  std::atomic<int> countdown{5};
+  ctx_->simulator().device_heap().set_failure_injector([&](size_t) {
+    // First five device allocations fail, then the device recovers.
+    return countdown.fetch_sub(1) > 0;
+  });
+  ChoppingExecutor chopping(ctx_.get(), 2, 2);
+  auto result = chopping.ExecuteQuery(SimplePlan(), MakeHypePlacer());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->num_rows(), 10u);
+}
+
+TEST_F(ExecutorTest, ChoppingReportsQueryErrors) {
+  PlanNodePtr bad = std::make_shared<SelectNode>(
+      ScanFact({"v"}),
+      ConjunctiveFilter::And({Predicate::Lt("missing", int64_t{1})}));
+  ChoppingExecutor chopping(ctx_.get(), 1, 1);
+  auto result = chopping.ExecuteQuery(bad, MakeHypePlacer());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, RuntimePlacerSendsSuccessorsOfAbortedOpsToCpu) {
+  // Data-driven placer: a CPU-located input forces CPU placement.
+  OperatorResult cpu_input;
+  cpu_input.table = db_->GetTable("fact").value();
+  cpu_input.location = ProcessorKind::kCpu;
+  PlanNodePtr select = std::make_shared<SelectNode>(
+      ScanFact({"v"}), ConjunctiveFilter::And({Predicate::Lt("v", int64_t{1})}));
+  RuntimePlacer placer = MakeDataDrivenPlacer();
+  std::vector<OperatorResult*> inputs = {&cpu_input};
+  EXPECT_EQ(placer(*select, inputs, *ctx_), ProcessorKind::kCpu);
+  cpu_input.location = ProcessorKind::kGpu;
+  EXPECT_EQ(placer(*select, inputs, *ctx_), ProcessorKind::kGpu);
+}
+
+}  // namespace
+}  // namespace hetdb

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "hype/cost_model.h"
+#include "hype/load_tracker.h"
+#include "hype/scheduler.h"
+
+namespace hetdb {
+namespace {
+
+SystemConfig FastConfig() {
+  SystemConfig config;
+  config.simulate_time = false;
+  return config;
+}
+
+TEST(CostModelTest, BootstrapsFromAnalyticalModel) {
+  Simulator sim(FastConfig());
+  CostModel model(&sim);
+  // Without observations the estimate equals the simulator's.
+  EXPECT_DOUBLE_EQ(
+      model.EstimateMicros(ProcessorKind::kCpu, OpClass::kScan, 4000),
+      sim.EstimateComputeMicros(ProcessorKind::kCpu, OpClass::kScan, 4000));
+}
+
+TEST(CostModelTest, LearnsLinearCost) {
+  Simulator sim(FastConfig());
+  CostModel model(&sim);
+  // Feed a synthetic machine: cost = 7 + 0.003 * bytes.
+  for (int i = 1; i <= 20; ++i) {
+    const size_t bytes = static_cast<size_t>(i) * 1000;
+    model.Observe(ProcessorKind::kCpu, OpClass::kJoin, bytes,
+                  7.0 + 0.003 * bytes);
+  }
+  EXPECT_EQ(model.ObservationCount(ProcessorKind::kCpu, OpClass::kJoin), 20u);
+  const double estimate =
+      model.EstimateMicros(ProcessorKind::kCpu, OpClass::kJoin, 50000);
+  EXPECT_NEAR(estimate, 7.0 + 0.003 * 50000, 1.0);
+}
+
+TEST(CostModelTest, PairsAreIndependent) {
+  Simulator sim(FastConfig());
+  CostModel model(&sim);
+  for (int i = 0; i < 10; ++i) {
+    model.Observe(ProcessorKind::kGpu, OpClass::kScan, 1000, 42);
+  }
+  // CPU scan estimate is untouched by GPU observations.
+  EXPECT_DOUBLE_EQ(
+      model.EstimateMicros(ProcessorKind::kCpu, OpClass::kScan, 1000),
+      sim.EstimateComputeMicros(ProcessorKind::kCpu, OpClass::kScan, 1000));
+  // Degenerate observations (all same x) fall back to the mean.
+  EXPECT_NEAR(model.EstimateMicros(ProcessorKind::kGpu, OpClass::kScan, 1000),
+              42, 1e-6);
+}
+
+TEST(CostModelTest, EstimatesNeverNegative) {
+  Simulator sim(FastConfig());
+  CostModel model(&sim);
+  // A decreasing-cost fit could extrapolate below zero for large inputs.
+  model.Observe(ProcessorKind::kCpu, OpClass::kSort, 1000, 100);
+  model.Observe(ProcessorKind::kCpu, OpClass::kSort, 2000, 50);
+  model.Observe(ProcessorKind::kCpu, OpClass::kSort, 3000, 20);
+  model.Observe(ProcessorKind::kCpu, OpClass::kSort, 4000, 10);
+  model.Observe(ProcessorKind::kCpu, OpClass::kSort, 5000, 5);
+  EXPECT_GE(model.EstimateMicros(ProcessorKind::kCpu, OpClass::kSort, 1 << 20),
+            0.0);
+}
+
+TEST(LoadTrackerTest, TracksPendingWork) {
+  LoadTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.PendingMicros(ProcessorKind::kGpu), 0.0);
+  tracker.AddPending(ProcessorKind::kGpu, 100);
+  tracker.AddPending(ProcessorKind::kGpu, 50);
+  tracker.AddPending(ProcessorKind::kCpu, 10);
+  EXPECT_DOUBLE_EQ(tracker.PendingMicros(ProcessorKind::kGpu), 150.0);
+  EXPECT_DOUBLE_EQ(tracker.PendingMicros(ProcessorKind::kCpu), 10.0);
+  tracker.RemovePending(ProcessorKind::kGpu, 100);
+  EXPECT_DOUBLE_EQ(tracker.PendingMicros(ProcessorKind::kGpu), 50.0);
+  tracker.Reset();
+  EXPECT_DOUBLE_EQ(tracker.PendingMicros(ProcessorKind::kGpu), 0.0);
+}
+
+TEST(SchedulerTest, PrefersDeviceWhenDataResident) {
+  Simulator sim(FastConfig());
+  CostModel model(&sim);
+  LoadTracker tracker;
+  HypeScheduler scheduler(&model, &tracker, &sim);
+  // No transfer needed, no load: the (faster) device wins.
+  EXPECT_EQ(scheduler.ChooseProcessor(OpClass::kJoin, 1 << 20, 0),
+            ProcessorKind::kGpu);
+}
+
+TEST(SchedulerTest, TransferCostTipsTheBalance) {
+  Simulator sim(FastConfig());
+  CostModel model(&sim);
+  LoadTracker tracker;
+  HypeScheduler scheduler(&model, &tracker, &sim);
+  // All input must cross the bus: with default calibration (PCIe slower
+  // than CPU scan), the CPU wins for scans.
+  EXPECT_EQ(scheduler.ChooseProcessor(OpClass::kScan, 1 << 20, 1 << 20),
+            ProcessorKind::kCpu);
+}
+
+TEST(SchedulerTest, LoadBalancesAwayFromBusyDevice) {
+  Simulator sim(FastConfig());
+  CostModel model(&sim);
+  LoadTracker tracker;
+  HypeScheduler scheduler(&model, &tracker, &sim);
+  // Pile a large queue on the device; CPU becomes the better choice.
+  tracker.AddPending(ProcessorKind::kGpu, 1e9);
+  EXPECT_EQ(scheduler.ChooseProcessor(OpClass::kJoin, 1 << 20, 0),
+            ProcessorKind::kCpu);
+}
+
+}  // namespace
+}  // namespace hetdb

@@ -1,0 +1,219 @@
+// Property-based tests: randomized inputs checked against independent
+// scalar reference implementations, parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "operators/kernels.h"
+
+namespace hetdb {
+namespace {
+
+/// Random table with an int32 key column (small domain, duplicates), an
+/// int32 value column, a double column, and a small-domain string column.
+TablePtr RandomTable(uint64_t seed, size_t rows) {
+  Rng rng(seed);
+  auto table = std::make_shared<Table>("t");
+  std::vector<int32_t> key(rows), value(rows);
+  std::vector<double> weight(rows);
+  auto label = StringColumn::FromDictionary(
+      "label", {"alpha", "beta", "gamma", "delta"});
+  for (size_t i = 0; i < rows; ++i) {
+    key[i] = static_cast<int32_t>(rng.Uniform(0, 20));
+    value[i] = static_cast<int32_t>(rng.Uniform(-100, 100));
+    weight[i] = rng.NextDouble() * 10;
+    label->AppendCode(static_cast<int32_t>(rng.Uniform(0, 3)));
+  }
+  EXPECT_TRUE(
+      table->AddColumn(std::make_shared<Int32Column>("key", std::move(key)))
+          .ok());
+  EXPECT_TRUE(
+      table->AddColumn(std::make_shared<Int32Column>("value", std::move(value)))
+          .ok());
+  EXPECT_TRUE(table
+                  ->AddColumn(std::make_shared<DoubleColumn>(
+                      "weight", std::move(weight)))
+                  .ok());
+  EXPECT_TRUE(table->AddColumn(std::move(label)).ok());
+  return table;
+}
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Filters match a row-at-a-time reference evaluation for random CNFs.
+TEST_P(SeededTest, FilterMatchesScalarReference) {
+  Rng rng(GetParam() * 7919 + 13);
+  TablePtr table = RandomTable(GetParam(), 500);
+  const auto& key =
+      ColumnCast<Int32Column>(*table->GetColumn("key").value()).values();
+  const auto& value =
+      ColumnCast<Int32Column>(*table->GetColumn("value").value()).values();
+
+  for (int round = 0; round < 20; ++round) {
+    const int64_t k_lo = rng.Uniform(-2, 22), k_hi = k_lo + rng.Uniform(0, 10);
+    const int64_t v_cut = rng.Uniform(-120, 120);
+    ConjunctiveFilter filter;
+    filter.conjuncts.push_back(
+        Disjunction(Predicate::Between("key", k_lo, k_hi)));
+    filter.conjuncts.push_back(
+        Disjunction{Predicate::Lt("value", v_cut),
+                    Predicate::Eq("key", int64_t{3})});
+    auto rows = EvaluateFilter(*table, filter);
+    ASSERT_TRUE(rows.ok());
+    std::vector<uint32_t> expected;
+    for (size_t i = 0; i < key.size(); ++i) {
+      const bool c1 = key[i] >= k_lo && key[i] <= k_hi;
+      const bool c2 = value[i] < v_cut || key[i] == 3;
+      if (c1 && c2) expected.push_back(static_cast<uint32_t>(i));
+    }
+    ASSERT_EQ(rows.value(), expected) << "round " << round;
+  }
+}
+
+/// Hash join row count equals the nested-loop count; every output pair has
+/// equal keys.
+TEST_P(SeededTest, JoinMatchesNestedLoopReference) {
+  TablePtr build = RandomTable(GetParam(), 60);
+  TablePtr probe = RandomTable(GetParam() + 1000, 200);
+  JoinOutputSpec spec;
+  spec.build_columns = {"key", "value"};
+  spec.probe_columns = {"key", "value"};
+  spec.build_aliases = {"bk", "bv"};
+  spec.probe_aliases = {"pk", "pv"};
+  auto joined = HashJoin(*build, "key", *probe, "key", spec, "j");
+  ASSERT_TRUE(joined.ok());
+
+  const auto& bkeys =
+      ColumnCast<Int32Column>(*build->GetColumn("key").value()).values();
+  const auto& pkeys =
+      ColumnCast<Int32Column>(*probe->GetColumn("key").value()).values();
+  size_t expected_rows = 0;
+  for (int32_t b : bkeys) {
+    for (int32_t p : pkeys) {
+      if (b == p) ++expected_rows;
+    }
+  }
+  EXPECT_EQ(joined.value()->num_rows(), expected_rows);
+  const auto& bk =
+      ColumnCast<Int32Column>(*joined.value()->GetColumn("bk").value());
+  const auto& pk =
+      ColumnCast<Int32Column>(*joined.value()->GetColumn("pk").value());
+  for (size_t i = 0; i < joined.value()->num_rows(); ++i) {
+    ASSERT_EQ(bk.value(i), pk.value(i));
+  }
+}
+
+/// Group sums add up to the ungrouped total; counts add up to row count.
+TEST_P(SeededTest, AggregationIsConsistent) {
+  TablePtr table = RandomTable(GetParam(), 777);
+  auto grouped = Aggregate(*table, {"label"},
+                           {{AggregateFn::kSum, "value", "s"},
+                            {AggregateFn::kCount, "", "n"},
+                            {AggregateFn::kMin, "value", "lo"},
+                            {AggregateFn::kMax, "value", "hi"}},
+                           "g");
+  ASSERT_TRUE(grouped.ok());
+  auto total = Aggregate(*table, {}, {{AggregateFn::kSum, "value", "s"}}, "t");
+  ASSERT_TRUE(total.ok());
+
+  const auto& sums =
+      ColumnCast<Int64Column>(*grouped.value()->GetColumn("s").value());
+  const auto& counts =
+      ColumnCast<Int64Column>(*grouped.value()->GetColumn("n").value());
+  const auto& lows =
+      ColumnCast<Int64Column>(*grouped.value()->GetColumn("lo").value());
+  const auto& highs =
+      ColumnCast<Int64Column>(*grouped.value()->GetColumn("hi").value());
+  int64_t sum_of_sums = 0, sum_of_counts = 0;
+  for (size_t g = 0; g < grouped.value()->num_rows(); ++g) {
+    sum_of_sums += sums.value(g);
+    sum_of_counts += counts.value(g);
+    ASSERT_LE(lows.value(g), highs.value(g));
+    ASSERT_GE(counts.value(g), 1);
+  }
+  EXPECT_EQ(sum_of_counts, 777);
+  EXPECT_EQ(sum_of_sums,
+            ColumnCast<Int64Column>(*total.value()->GetColumn("s").value())
+                .value(0));
+}
+
+/// Sorting produces an ordered permutation of the input.
+TEST_P(SeededTest, SortIsAnOrderedPermutation) {
+  TablePtr table = RandomTable(GetParam(), 300);
+  auto sorted = Sort(*table, {{"label", true}, {"value", false}}, "s");
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_EQ(sorted.value()->num_rows(), 300u);
+
+  const auto& label =
+      ColumnCast<StringColumn>(*sorted.value()->GetColumn("label").value());
+  const auto& value =
+      ColumnCast<Int32Column>(*sorted.value()->GetColumn("value").value());
+  for (size_t i = 1; i < 300; ++i) {
+    const auto prev = label.value(i - 1), curr = label.value(i);
+    ASSERT_LE(prev, curr);
+    if (prev == curr) ASSERT_GE(value.value(i - 1), value.value(i));
+  }
+  // Permutation: multiset of values preserved.
+  auto multiset_of = [](const Int32Column& column) {
+    std::map<int32_t, int> counts;
+    for (int32_t v : column.values()) ++counts[v];
+    return counts;
+  };
+  EXPECT_EQ(multiset_of(value),
+            multiset_of(ColumnCast<Int32Column>(
+                *table->GetColumn("value").value())));
+}
+
+/// Projection arithmetic matches scalar arithmetic.
+TEST_P(SeededTest, ProjectionMatchesScalarReference) {
+  TablePtr table = RandomTable(GetParam(), 250);
+  auto projected = Project(
+      *table, {},
+      {ArithmeticExpr::ColumnOp("vw", ArithmeticExpr::Op::kMul, "value",
+                                "weight"),
+       ArithmeticExpr::ConstantMinusColumn("inv", 50, "value"),
+       ArithmeticExpr::ConstantOp("shift", ArithmeticExpr::Op::kAdd, "value",
+                                  7)},
+      "p");
+  ASSERT_TRUE(projected.ok());
+  const auto& value =
+      ColumnCast<Int32Column>(*table->GetColumn("value").value()).values();
+  const auto& weight =
+      ColumnCast<DoubleColumn>(*table->GetColumn("weight").value()).values();
+  const auto& vw =
+      ColumnCast<DoubleColumn>(*projected.value()->GetColumn("vw").value());
+  const auto& inv =
+      ColumnCast<Int64Column>(*projected.value()->GetColumn("inv").value());
+  const auto& shift =
+      ColumnCast<Int64Column>(*projected.value()->GetColumn("shift").value());
+  for (size_t i = 0; i < 250; ++i) {
+    ASSERT_DOUBLE_EQ(vw.value(i), value[i] * weight[i]);
+    ASSERT_EQ(inv.value(i), 50 - value[i]);
+    ASSERT_EQ(shift.value(i), value[i] + 7);
+  }
+}
+
+/// Filter-then-gather equals gather-then-filter on the selected rows
+/// (selection pushdown soundness).
+TEST_P(SeededTest, FilterCommutesWithGather) {
+  TablePtr table = RandomTable(GetParam(), 400);
+  ConjunctiveFilter filter =
+      ConjunctiveFilter::And({Predicate::Ge("value", int64_t{0})});
+  auto rows = EvaluateFilter(*table, filter);
+  ASSERT_TRUE(rows.ok());
+  auto filtered = GatherRows(*table, rows.value(), "f");
+  ASSERT_TRUE(filtered.ok());
+  // Re-filtering the filtered table selects everything.
+  auto rows2 = EvaluateFilter(*filtered.value(), filter);
+  ASSERT_TRUE(rows2.ok());
+  EXPECT_EQ(rows2.value().size(), filtered.value()->num_rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace hetdb

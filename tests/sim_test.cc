@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hetdb {
+namespace {
+
+SystemConfig FastConfig() {
+  SystemConfig config;
+  config.simulate_time = false;  // bookkeeping only, no sleeps
+  return config;
+}
+
+TEST(DeviceAllocatorTest, AllocateAndRelease) {
+  DeviceAllocator allocator(100);
+  auto a = allocator.Allocate(60, "a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(allocator.used(), 60u);
+  EXPECT_EQ(allocator.available(), 40u);
+  {
+    auto b = allocator.Allocate(40, "b");
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(allocator.used(), 100u);
+    EXPECT_EQ(allocator.available(), 0u);
+  }
+  EXPECT_EQ(allocator.used(), 60u);  // b released by RAII
+  a->Release();
+  EXPECT_EQ(allocator.used(), 0u);
+}
+
+TEST(DeviceAllocatorTest, FailsWhenExhausted) {
+  DeviceAllocator allocator(100);
+  auto a = allocator.Allocate(80, "a");
+  ASSERT_TRUE(a.ok());
+  auto b = allocator.Allocate(30, "b");
+  EXPECT_FALSE(b.ok());
+  EXPECT_TRUE(b.status().IsResourceExhausted());
+  EXPECT_EQ(allocator.failed_allocations(), 1u);
+  EXPECT_EQ(allocator.used(), 80u);  // failed allocation has no effect
+}
+
+TEST(DeviceAllocatorTest, OversizedRequestAlwaysFails) {
+  DeviceAllocator allocator(100);
+  EXPECT_FALSE(allocator.Allocate(101, "big").ok());
+  EXPECT_TRUE(allocator.Allocate(100, "exact").ok());
+}
+
+TEST(DeviceAllocatorTest, TracksPeakUsage) {
+  DeviceAllocator allocator(100);
+  {
+    auto a = allocator.Allocate(70, "a");
+    ASSERT_TRUE(a.ok());
+  }
+  auto b = allocator.Allocate(10, "b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(allocator.peak_used(), 70u);
+  allocator.ResetStats();
+  EXPECT_EQ(allocator.peak_used(), 10u);
+  EXPECT_EQ(allocator.failed_allocations(), 0u);
+}
+
+TEST(DeviceAllocatorTest, MoveTransfersOwnership) {
+  DeviceAllocator allocator(100);
+  auto a = allocator.Allocate(50, "a");
+  ASSERT_TRUE(a.ok());
+  DeviceAllocation moved = std::move(a).value();
+  EXPECT_EQ(allocator.used(), 50u);
+  DeviceAllocation second = std::move(moved);
+  EXPECT_EQ(allocator.used(), 50u);
+  second.Release();
+  EXPECT_EQ(allocator.used(), 0u);
+}
+
+TEST(DeviceAllocatorTest, FailureInjection) {
+  DeviceAllocator allocator(1000);
+  allocator.set_failure_injector([](size_t bytes) { return bytes > 10; });
+  EXPECT_TRUE(allocator.Allocate(10, "small").ok());
+  EXPECT_FALSE(allocator.Allocate(11, "large").ok());
+  allocator.set_failure_injector(nullptr);
+  EXPECT_TRUE(allocator.Allocate(11, "large again").ok());
+}
+
+TEST(DeviceAllocatorTest, ConcurrentAllocationsNeverOvercommit) {
+  DeviceAllocator allocator(1000);
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        auto a = allocator.Allocate(100, "x");
+        if (a.ok()) {
+          successes.fetch_add(1);
+          EXPECT_LE(allocator.used(), 1000u);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(allocator.used(), 0u);
+  EXPECT_GT(successes.load(), 0);
+}
+
+TEST(SimClockTest, AccumulatesChargedTime) {
+  SimClock clock(/*simulate=*/false, 1.0);
+  clock.Charge(100);
+  clock.Charge(250);
+  clock.Charge(-5);  // ignored
+  EXPECT_EQ(clock.total_charged_micros(), 350);
+}
+
+TEST(SimClockTest, SimulationSleepsApproximatelyScaledTime) {
+  SimClock clock(/*simulate=*/true, 0.5);
+  const auto start = std::chrono::steady_clock::now();
+  clock.Charge(10000);  // 10ms modeled, 5ms scaled
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_ms, 4.5);
+  EXPECT_LT(elapsed_ms, 50.0);  // generous upper bound for CI noise
+}
+
+TEST(PcieBusTest, AccountsBytesAndTimePerDirection) {
+  SimClock clock(false, 1.0);
+  PcieBus bus(/*bandwidth_mbps=*/100, /*sync_efficiency=*/0.5, &clock);
+  bus.Transfer(1000, TransferDirection::kHostToDevice);
+  bus.Transfer(500, TransferDirection::kDeviceToHost);
+  EXPECT_EQ(bus.transferred_bytes(TransferDirection::kHostToDevice), 1000u);
+  EXPECT_EQ(bus.transferred_bytes(TransferDirection::kDeviceToHost), 500u);
+  // 1000 bytes at 100 MB/s == 10 us.
+  EXPECT_EQ(bus.transfer_micros(TransferDirection::kHostToDevice), 10);
+  EXPECT_EQ(bus.transfer_micros(TransferDirection::kDeviceToHost), 5);
+  EXPECT_EQ(bus.transfer_count(TransferDirection::kHostToDevice), 1u);
+  bus.ResetStats();
+  EXPECT_EQ(bus.transferred_bytes(TransferDirection::kHostToDevice), 0u);
+}
+
+TEST(PcieBusTest, SynchronousTransfersArePenalized) {
+  SimClock clock(false, 1.0);
+  PcieBus bus(100, 0.5, &clock);
+  bus.Transfer(1000, TransferDirection::kHostToDevice, /*asynchronous=*/false);
+  EXPECT_EQ(bus.transfer_micros(TransferDirection::kHostToDevice), 20);
+}
+
+TEST(PcieBusTest, ZeroByteTransferIsFree) {
+  SimClock clock(false, 1.0);
+  PcieBus bus(100, 0.5, &clock);
+  bus.Transfer(0, TransferDirection::kHostToDevice);
+  EXPECT_EQ(bus.transfer_count(TransferDirection::kHostToDevice), 0u);
+}
+
+TEST(SimulatorTest, EstimatesFollowThroughputTable) {
+  SystemConfig config = FastConfig();
+  config.cpu_throughput.scan_mbps = 100;
+  config.gpu_throughput.scan_mbps = 1000;
+  config.pcie_mbps = 50;
+  Simulator sim(config);
+  EXPECT_DOUBLE_EQ(
+      sim.EstimateComputeMicros(ProcessorKind::kCpu, OpClass::kScan, 1000),
+      10.0);
+  EXPECT_DOUBLE_EQ(
+      sim.EstimateComputeMicros(ProcessorKind::kGpu, OpClass::kScan, 1000),
+      1.0);
+  EXPECT_DOUBLE_EQ(sim.EstimateTransferMicros(1000), 20.0);
+}
+
+TEST(SimulatorTest, AllOpClassesHaveThroughputs) {
+  Simulator sim(FastConfig());
+  for (OpClass op : {OpClass::kScan, OpClass::kJoin, OpClass::kAggregate,
+                     OpClass::kSort, OpClass::kProject, OpClass::kMaterialize}) {
+    EXPECT_GT(sim.EstimateComputeMicros(ProcessorKind::kCpu, op, 1 << 20), 0);
+    EXPECT_GT(sim.EstimateComputeMicros(ProcessorKind::kGpu, op, 1 << 20), 0);
+    // The device is modeled faster than the CPU for every operator class.
+    EXPECT_LT(sim.EstimateComputeMicros(ProcessorKind::kGpu, op, 1 << 20),
+              sim.EstimateComputeMicros(ProcessorKind::kCpu, op, 1 << 20));
+  }
+}
+
+TEST(SimulatorTest, HeapCapacityFollowsConfig) {
+  SystemConfig config = FastConfig();
+  config.device_memory_bytes = 1000;
+  config.device_cache_bytes = 400;
+  Simulator sim(config);
+  EXPECT_EQ(sim.device_heap().capacity(), 600u);
+}
+
+TEST(SimulatorTest, ChargeComputeAccumulatesClock) {
+  SystemConfig config = FastConfig();
+  config.cpu_throughput.scan_mbps = 100;
+  config.cpu_workers = 1;  // disable intra-operator parallelism for exactness
+  Simulator sim(config);
+  sim.ChargeCompute(ProcessorKind::kCpu, OpClass::kScan, 1000);
+  EXPECT_EQ(sim.clock().total_charged_micros(), 10);
+  sim.ChargeCompute(ProcessorKind::kGpu, OpClass::kScan, 1 << 20);
+  EXPECT_GT(sim.clock().total_charged_micros(), 10);
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Semaphore sem(2);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        sem.Acquire();
+        const int now = inside.fetch_add(1) + 1;
+        int expected = max_inside.load();
+        while (now > expected &&
+               !max_inside.compare_exchange_weak(expected, now)) {
+        }
+        inside.fetch_sub(1);
+        sem.Release();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(max_inside.load(), 2);
+}
+
+}  // namespace
+}  // namespace hetdb

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace hetdb {
+namespace {
+
+TEST(ColumnTest, NumericColumnBasics) {
+  Int32Column column("c", {1, 2, 3});
+  EXPECT_EQ(column.type(), DataType::kInt32);
+  EXPECT_EQ(column.num_rows(), 3u);
+  EXPECT_EQ(column.data_bytes(), 12u);
+  EXPECT_EQ(column.value(1), 2);
+  column.Append(4);
+  EXPECT_EQ(column.num_rows(), 4u);
+}
+
+TEST(ColumnTest, TypesReportCorrectWidths) {
+  EXPECT_EQ(DataTypeWidth(DataType::kInt32), 4u);
+  EXPECT_EQ(DataTypeWidth(DataType::kInt64), 8u);
+  EXPECT_EQ(DataTypeWidth(DataType::kDouble), 8u);
+  EXPECT_EQ(DataTypeWidth(DataType::kString), 4u);
+  EXPECT_EQ(Int64Column("x").type(), DataType::kInt64);
+  EXPECT_EQ(DoubleColumn("x").type(), DataType::kDouble);
+}
+
+TEST(ColumnTest, AccessCounterIncrements) {
+  Int32Column column("c");
+  EXPECT_EQ(column.access_count(), 0u);
+  column.RecordAccess();
+  column.RecordAccess();
+  EXPECT_EQ(column.access_count(), 2u);
+  column.ResetAccessCount();
+  EXPECT_EQ(column.access_count(), 0u);
+}
+
+TEST(StringColumnTest, AppendBuildsDictionary) {
+  StringColumn column("s");
+  column.Append("b");
+  column.Append("a");
+  column.Append("b");
+  EXPECT_EQ(column.num_rows(), 3u);
+  EXPECT_EQ(column.value(0), "b");
+  EXPECT_EQ(column.value(1), "a");
+  EXPECT_EQ(column.code(0), column.code(2));
+  // "a" arrived after "b": insertion order breaks code ordering.
+  EXPECT_FALSE(column.order_preserving());
+}
+
+TEST(StringColumnTest, SortedDictionaryIsOrderPreserving) {
+  auto column = StringColumn::FromDictionary("s", {"apple", "banana", "pear"});
+  column->AppendCode(2);
+  column->AppendCode(0);
+  EXPECT_TRUE(column->order_preserving());
+  EXPECT_EQ(column->value(0), "pear");
+  EXPECT_EQ(column->CodeFor("banana").value(), 1);
+  EXPECT_EQ(column->CodeFor("grape").status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringColumnTest, BoundCodesMatchLexicographicOrder) {
+  auto column =
+      StringColumn::FromDictionary("s", {"MFGR#12", "MFGR#13", "MFGR#22"});
+  EXPECT_EQ(column->LowerBoundCode("MFGR#13"), 1);
+  EXPECT_EQ(column->UpperBoundCode("MFGR#13"), 2);
+  EXPECT_EQ(column->LowerBoundCode("A"), 0);
+  EXPECT_EQ(column->UpperBoundCode("Z"), 3);
+}
+
+TEST(StringColumnTest, DataBytesIncludesCodesAndDictionary) {
+  auto column = StringColumn::FromDictionary("s", {"ab", "cd"});
+  column->AppendCode(0);
+  column->AppendCode(1);
+  EXPECT_EQ(column->data_bytes(), 2 * sizeof(int32_t) + 4);
+}
+
+TEST(TableTest, AddAndGetColumns) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn(std::make_shared<Int32Column>(
+                                  "a", std::vector<int32_t>{1, 2}))
+                  .ok());
+  ASSERT_TRUE(table.AddColumn(std::make_shared<Int32Column>(
+                                  "b", std::vector<int32_t>{3, 4}))
+                  .ok());
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_TRUE(table.HasColumn("a"));
+  EXPECT_FALSE(table.HasColumn("z"));
+  EXPECT_EQ(table.GetColumn("b").value()->name(), "b");
+  EXPECT_EQ(table.GetColumn("z").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(table.data_bytes(), 16u);
+  EXPECT_EQ(table.QualifiedName("a"), "t.a");
+}
+
+TEST(TableTest, RejectsDuplicateAndMismatchedColumns) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn(std::make_shared<Int32Column>(
+                                  "a", std::vector<int32_t>{1, 2}))
+                  .ok());
+  EXPECT_EQ(table.AddColumn(std::make_shared<Int32Column>("a")).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(table
+                .AddColumn(std::make_shared<Int32Column>(
+                    "c", std::vector<int32_t>{1, 2, 3}))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.AddColumn(nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, CatalogOperations) {
+  Database db;
+  auto table = std::make_shared<Table>("t");
+  ASSERT_TRUE(table
+                  ->AddColumn(std::make_shared<Int32Column>(
+                      "a", std::vector<int32_t>{1}))
+                  .ok());
+  ASSERT_TRUE(db.AddTable(table).ok());
+  EXPECT_TRUE(db.HasTable("t"));
+  EXPECT_EQ(db.AddTable(table).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.GetTable("t").value()->name(), "t");
+  EXPECT_EQ(db.GetTable("x").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.GetColumnByQualifiedName("t.a").value()->name(), "a");
+  EXPECT_EQ(db.GetColumnByQualifiedName("t.z").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.GetColumnByQualifiedName("bogus").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.TotalBytes(), 4u);
+}
+
+TEST(DatabaseTest, ResetAccessCounters) {
+  Database db;
+  auto table = std::make_shared<Table>("t");
+  auto column = std::make_shared<Int32Column>("a", std::vector<int32_t>{1});
+  ASSERT_TRUE(table->AddColumn(column).ok());
+  ASSERT_TRUE(db.AddTable(table).ok());
+  column->RecordAccess();
+  EXPECT_EQ(column->access_count(), 1u);
+  db.ResetAccessCounters();
+  EXPECT_EQ(column->access_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hetdb

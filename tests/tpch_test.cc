@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "placement/strategy_runner.h"
+#include "tests/test_util.h"
+#include "tpch/tpch_generator.h"
+#include "tpch/tpch_queries.h"
+
+namespace hetdb {
+namespace {
+
+TpchGeneratorOptions SmallTpch() {
+  TpchGeneratorOptions options;
+  options.scale_factor = 0.2;  // 3,000 orders, ~12,000 lineitem rows
+  return options;
+}
+
+class TpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { db_ = GenerateTpchDatabase(SmallTpch()); }
+  static void TearDownTestSuite() { db_.reset(); }
+  static DatabasePtr db_;
+};
+
+DatabasePtr TpchTest::db_;
+
+TEST_F(TpchTest, SchemaIsComplete) {
+  for (const char* table : {"region", "nation", "supplier", "customer", "part",
+                            "partsupp", "orders", "lineitem"}) {
+    EXPECT_TRUE(db_->HasTable(table)) << table;
+  }
+  EXPECT_EQ(db_->GetTable("region").value()->num_rows(), 5u);
+  EXPECT_EQ(db_->GetTable("nation").value()->num_rows(), 25u);
+}
+
+TEST_F(TpchTest, GenerationIsDeterministic) {
+  DatabasePtr other = GenerateTpchDatabase(SmallTpch());
+  EXPECT_TRUE(TablesEqual(*db_->GetTable("lineitem").value(),
+                          *other->GetTable("lineitem").value()));
+}
+
+TEST_F(TpchTest, LineitemReferencesOrders) {
+  TablePtr lineitem = db_->GetTable("lineitem").value();
+  TablePtr orders = db_->GetTable("orders").value();
+  const auto& l_orderkey =
+      ColumnCast<Int32Column>(*lineitem->GetColumn("l_orderkey").value())
+          .values();
+  const int32_t max_order = static_cast<int32_t>(orders->num_rows());
+  for (int32_t k : l_orderkey) {
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, max_order);
+  }
+  // Every order has at least one lineitem (generator invariant).
+  std::unordered_set<int32_t> seen(l_orderkey.begin(), l_orderkey.end());
+  EXPECT_EQ(seen.size(), static_cast<size_t>(max_order));
+}
+
+TEST_F(TpchTest, DatesAreOrderedPerLine) {
+  TablePtr lineitem = db_->GetTable("lineitem").value();
+  const auto& ship =
+      ColumnCast<Int32Column>(*lineitem->GetColumn("l_shipdate").value())
+          .values();
+  const auto& receipt =
+      ColumnCast<Int32Column>(*lineitem->GetColumn("l_receiptdate").value())
+          .values();
+  const auto& shipyear =
+      ColumnCast<Int32Column>(*lineitem->GetColumn("l_shipyear").value())
+          .values();
+  for (size_t i = 0; i < ship.size(); ++i) {
+    ASSERT_LE(ship[i], receipt[i]);
+    ASSERT_EQ(shipyear[i], ship[i] / 10000);
+  }
+}
+
+TEST_F(TpchTest, NationRegionMappingIsValid) {
+  TablePtr nation = db_->GetTable("nation").value();
+  const auto& regionkey =
+      ColumnCast<Int32Column>(*nation->GetColumn("n_regionkey").value())
+          .values();
+  int per_region[5] = {0, 0, 0, 0, 0};
+  for (int32_t r : regionkey) {
+    ASSERT_GE(r, 0);
+    ASSERT_LE(r, 4);
+    ++per_region[r];
+  }
+  for (int count : per_region) EXPECT_EQ(count, 5);  // 5 nations per region
+}
+
+TEST_F(TpchTest, AllQueriesAreRegistered) {
+  EXPECT_EQ(TpchQueries().size(), 6u);
+  EXPECT_TRUE(TpchQueryByName("Q5").ok());
+  EXPECT_EQ(TpchQueryByName("Q1").status().code(), StatusCode::kNotFound);
+}
+
+class TpchQueryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TpchQueryTest, ProducesConsistentNonEmptyResults) {
+  static DatabasePtr db = GenerateTpchDatabase(SmallTpch());
+  Result<NamedQuery> query = TpchQueryByName(GetParam());
+  ASSERT_TRUE(query.ok());
+
+  TablePtr reference;
+  for (Strategy strategy :
+       {Strategy::kCpuOnly, Strategy::kGpuOnly, Strategy::kDataDrivenChopping}) {
+    EngineContext ctx(TestConfig(), db);
+    StrategyRunner runner(&ctx, strategy);
+    runner.RefreshDataPlacement();
+    Result<PlanNodePtr> plan = query->builder(*db);
+    ASSERT_TRUE(plan.ok());
+    Result<TablePtr> result = runner.RunQuery(plan.value());
+    ASSERT_TRUE(result.ok())
+        << GetParam() << " under " << StrategyToString(strategy) << ": "
+        << result.status().ToString();
+    EXPECT_GT(result.value()->num_rows(), 0u)
+        << GetParam() << " under " << StrategyToString(strategy);
+    if (reference == nullptr) {
+      reference = result.value();
+    } else {
+      EXPECT_TRUE(TablesEqual(*reference, *result.value()))
+          << GetParam() << " differs under " << StrategyToString(strategy);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTpchQueries, TpchQueryTest,
+                         ::testing::Values("Q2", "Q3", "Q4", "Q5", "Q6", "Q7"));
+
+/// Semantic spot-check of Q6 against a direct scalar computation.
+TEST_F(TpchTest, Q6MatchesScalarReference) {
+  TablePtr lineitem = db_->GetTable("lineitem").value();
+  const auto& shipdate =
+      ColumnCast<Int32Column>(*lineitem->GetColumn("l_shipdate").value())
+          .values();
+  const auto& discount =
+      ColumnCast<Int32Column>(*lineitem->GetColumn("l_discount").value())
+          .values();
+  const auto& quantity =
+      ColumnCast<Int32Column>(*lineitem->GetColumn("l_quantity").value())
+          .values();
+  const auto& price =
+      ColumnCast<Int32Column>(*lineitem->GetColumn("l_extendedprice").value())
+          .values();
+  int64_t expected = 0;
+  for (size_t i = 0; i < shipdate.size(); ++i) {
+    if (shipdate[i] >= 19940101 && shipdate[i] <= 19941231 &&
+        discount[i] >= 5 && discount[i] <= 7 && quantity[i] < 24) {
+      expected += static_cast<int64_t>(price[i]) * discount[i];
+    }
+  }
+  EngineContext ctx(TestConfig(), db_);
+  StrategyRunner runner(&ctx, Strategy::kCpuOnly);
+  Result<NamedQuery> q6 = TpchQueryByName("Q6");
+  ASSERT_TRUE(q6.ok());
+  Result<PlanNodePtr> plan = q6->builder(*db_);
+  ASSERT_TRUE(plan.ok());
+  Result<TablePtr> result = runner.RunQuery(plan.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value()->num_rows(), 1u);
+  EXPECT_EQ(ColumnCast<Int64Column>(
+                *result.value()->GetColumn("revenue").value())
+                .value(0),
+            expected);
+}
+
+}  // namespace
+}  // namespace hetdb

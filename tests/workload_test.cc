@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "ssb/ssb_generator.h"
+#include "tests/test_util.h"
+#include "workload/workload.h"
+
+namespace hetdb {
+namespace {
+
+DatabasePtr SmallSsbDb() {
+  SsbGeneratorOptions options;
+  options.scale_factor = 0.1;  // 6,000 lineorder rows
+  return GenerateSsbDatabase(options);
+}
+
+TEST(MicroWorkloadTest, SerialSelectionHasEightDistinctColumns) {
+  std::vector<NamedQuery> queries = SerialSelectionQueries();
+  ASSERT_EQ(queries.size(), 8u);
+  DatabasePtr db = SmallSsbDb();
+  std::set<std::string> names;
+  for (const NamedQuery& query : queries) {
+    names.insert(query.name);
+    Result<PlanNodePtr> plan = query.builder(*db);
+    ASSERT_TRUE(plan.ok());
+    // Each query scans exactly one lineorder column.
+    const auto& scan = static_cast<const ScanNode&>(*plan.value()->children()[0]);
+    EXPECT_EQ(scan.base_columns().size(), 1u);
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(MicroWorkloadTest, ParallelSelectionHasFourOperators) {
+  DatabasePtr db = SmallSsbDb();
+  std::vector<NamedQuery> queries = ParallelSelectionQueries();
+  ASSERT_EQ(queries.size(), 1u);
+  Result<PlanNodePtr> plan = queries[0].builder(*db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountPlanNodes(plan.value()), 4u);
+}
+
+TEST(WorkloadDriverTest, RunsAllQueries) {
+  DatabasePtr db = SmallSsbDb();
+  EngineContext ctx(TestConfig(), db);
+  StrategyRunner runner(&ctx, Strategy::kCpuOnly);
+  WorkloadRunOptions options;
+  options.repetitions = 3;
+  options.warmup_repetitions = 1;
+  WorkloadRunResult result =
+      RunWorkload(runner, SerialSelectionQueries(), options);
+  EXPECT_EQ(result.queries_run, 24u);  // 8 queries x 3 repetitions
+  EXPECT_EQ(result.failed_queries, 0u);
+  EXPECT_EQ(result.latency_ms_by_query.size(), 8u);
+  EXPECT_GT(result.wall_millis, 0.0);
+  // CPU-only: nothing crossed the bus during measurement.
+  EXPECT_EQ(result.h2d_bytes, 0u);
+  EXPECT_EQ(result.gpu_operators, 0u);
+}
+
+TEST(WorkloadDriverTest, MultiUserDoesSameTotalWork) {
+  DatabasePtr db = SmallSsbDb();
+  EngineContext ctx(TestConfig(), db);
+  StrategyRunner runner(&ctx, Strategy::kCpuOnly);
+  WorkloadRunOptions options;
+  options.repetitions = 4;
+  options.num_users = 4;
+  options.warmup_repetitions = 0;
+  WorkloadRunResult result =
+      RunWorkload(runner, SerialSelectionQueries(), options);
+  EXPECT_EQ(result.queries_run, 32u);
+  EXPECT_EQ(result.failed_queries, 0u);
+}
+
+TEST(WorkloadDriverTest, AdmissionControlSerializesQueries) {
+  DatabasePtr db = SmallSsbDb();
+  EngineContext ctx(TestConfig(), db);
+  StrategyRunner runner(&ctx, Strategy::kGpuOnly);
+  WorkloadRunOptions options;
+  options.repetitions = 2;
+  options.num_users = 4;
+  options.admission_limit = 1;
+  options.warmup_repetitions = 0;
+  WorkloadRunResult result =
+      RunWorkload(runner, ParallelSelectionQueries(), options);
+  EXPECT_EQ(result.queries_run, 2u);
+  EXPECT_EQ(result.failed_queries, 0u);
+}
+
+TEST(WorkloadDriverTest, WarmupTrainsPlacementBeforeMeasurement) {
+  DatabasePtr db = SmallSsbDb();
+  SystemConfig config = TestConfig();
+  config.device_cache_bytes = 4ull << 20;  // room for the whole working set
+  config.device_memory_bytes = 8ull << 20;
+  EngineContext ctx(config, db);
+  StrategyRunner runner(&ctx, Strategy::kDataDriven);
+  WorkloadRunOptions options;
+  options.repetitions = 2;
+  WorkloadRunResult result =
+      RunWorkload(runner, SerialSelectionQueries(), options);
+  // After warm-up + placement, all eight columns are cached: the measured
+  // phase runs on the device without host-to-device traffic.
+  EXPECT_EQ(result.h2d_bytes, 0u);
+  EXPECT_GT(result.gpu_operators, 0u);
+  EXPECT_EQ(result.gpu_aborts, 0u);
+}
+
+/// The paper's core robustness claim, as a unit test: with a heap too small
+/// for the concurrent operator footprint, GPU-only thrashes with aborts;
+/// chopping (1 device worker) avoids them; and both produce correct results.
+TEST(RobustnessTest, ChoppingAvoidsHeapContentionAborts) {
+  DatabasePtr db = SmallSsbDb();
+  SystemConfig config = TestConfig();
+  // Operators must genuinely overlap for contention to occur, so this test
+  // runs with time simulation on (sub-millisecond modeled durations).
+  config.simulate_time = true;
+  // Cache fits the two filter columns; heap fits ~1.5 concurrent selections.
+  const size_t column_bytes =
+      db->GetColumnByQualifiedName("lineorder.lo_discount").value()->data_bytes();
+  config.device_cache_bytes = 3 * column_bytes;
+  config.device_memory_bytes = config.device_cache_bytes + 5 * column_bytes;
+
+  WorkloadRunOptions options;
+  options.repetitions = 16;
+  options.num_users = 8;
+
+  uint64_t aborts_gpu_only = 0, aborts_chopping = 0;
+  {
+    EngineContext ctx(config, db);
+    StrategyRunner runner(&ctx, Strategy::kGpuOnly);
+    WorkloadRunResult result =
+        RunWorkload(runner, ParallelSelectionQueries(), options);
+    EXPECT_EQ(result.failed_queries, 0u);
+    aborts_gpu_only = result.gpu_aborts;
+  }
+  {
+    EngineContext ctx(config, db);
+    StrategyRunner runner(&ctx, Strategy::kDataDrivenChopping);
+    WorkloadRunResult result =
+        RunWorkload(runner, ParallelSelectionQueries(), options);
+    EXPECT_EQ(result.failed_queries, 0u);
+    aborts_chopping = result.gpu_aborts;
+  }
+  EXPECT_GT(aborts_gpu_only, 0u);
+  EXPECT_LT(aborts_chopping, aborts_gpu_only);
+}
+
+TEST(WorkloadResultTest, ToStringMentionsKeyFields) {
+  WorkloadRunResult result;
+  result.wall_millis = 12.5;
+  result.gpu_aborts = 3;
+  const std::string text = result.ToString();
+  EXPECT_NE(text.find("wall=12.5"), std::string::npos);
+  EXPECT_NE(text.find("aborts=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetdb
