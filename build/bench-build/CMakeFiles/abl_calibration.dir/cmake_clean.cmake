@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_calibration"
+  "../bench/abl_calibration.pdb"
+  "CMakeFiles/abl_calibration.dir/abl_calibration.cpp.o"
+  "CMakeFiles/abl_calibration.dir/abl_calibration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

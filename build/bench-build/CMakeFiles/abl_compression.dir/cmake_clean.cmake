@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_compression"
+  "../bench/abl_compression.pdb"
+  "CMakeFiles/abl_compression.dir/abl_compression.cpp.o"
+  "CMakeFiles/abl_compression.dir/abl_compression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

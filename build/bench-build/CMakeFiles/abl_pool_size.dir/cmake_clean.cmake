@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_pool_size"
+  "../bench/abl_pool_size.pdb"
+  "CMakeFiles/abl_pool_size.dir/abl_pool_size.cpp.o"
+  "CMakeFiles/abl_pool_size.dir/abl_pool_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pool_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

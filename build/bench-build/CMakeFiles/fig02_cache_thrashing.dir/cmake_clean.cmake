@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_cache_thrashing"
+  "../bench/fig02_cache_thrashing.pdb"
+  "CMakeFiles/fig02_cache_thrashing.dir/fig02_cache_thrashing.cpp.o"
+  "CMakeFiles/fig02_cache_thrashing.dir/fig02_cache_thrashing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_cache_thrashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_heap_contention"
+  "../bench/fig03_heap_contention.pdb"
+  "CMakeFiles/fig03_heap_contention.dir/fig03_heap_contention.cpp.o"
+  "CMakeFiles/fig03_heap_contention.dir/fig03_heap_contention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_heap_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_data_driven_thrashing"
+  "../bench/fig05_data_driven_thrashing.pdb"
+  "CMakeFiles/fig05_data_driven_thrashing.dir/fig05_data_driven_thrashing.cpp.o"
+  "CMakeFiles/fig05_data_driven_thrashing.dir/fig05_data_driven_thrashing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_data_driven_thrashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

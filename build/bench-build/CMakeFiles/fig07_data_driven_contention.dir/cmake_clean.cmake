@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_data_driven_contention"
+  "../bench/fig07_data_driven_contention.pdb"
+  "CMakeFiles/fig07_data_driven_contention.dir/fig07_data_driven_contention.cpp.o"
+  "CMakeFiles/fig07_data_driven_contention.dir/fig07_data_driven_contention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_data_driven_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

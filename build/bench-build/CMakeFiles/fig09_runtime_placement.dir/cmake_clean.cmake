@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_runtime_placement"
+  "../bench/fig09_runtime_placement.pdb"
+  "CMakeFiles/fig09_runtime_placement.dir/fig09_runtime_placement.cpp.o"
+  "CMakeFiles/fig09_runtime_placement.dir/fig09_runtime_placement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_runtime_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_chopping"
+  "../bench/fig12_chopping.pdb"
+  "CMakeFiles/fig12_chopping.dir/fig12_chopping.cpp.o"
+  "CMakeFiles/fig12_chopping.dir/fig12_chopping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_chopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

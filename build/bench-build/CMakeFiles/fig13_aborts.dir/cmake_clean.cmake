@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_aborts"
+  "../bench/fig13_aborts.pdb"
+  "CMakeFiles/fig13_aborts.dir/fig13_aborts.cpp.o"
+  "CMakeFiles/fig13_aborts.dir/fig13_aborts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_scale_ssb"
+  "../bench/fig14_scale_ssb.pdb"
+  "CMakeFiles/fig14_scale_ssb.dir/fig14_scale_ssb.cpp.o"
+  "CMakeFiles/fig14_scale_ssb.dir/fig14_scale_ssb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_scale_ssb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

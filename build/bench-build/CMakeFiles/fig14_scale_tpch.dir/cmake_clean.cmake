@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_scale_tpch"
+  "../bench/fig14_scale_tpch.pdb"
+  "CMakeFiles/fig14_scale_tpch.dir/fig14_scale_tpch.cpp.o"
+  "CMakeFiles/fig14_scale_tpch.dir/fig14_scale_tpch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_scale_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

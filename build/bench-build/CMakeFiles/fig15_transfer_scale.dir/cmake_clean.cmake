@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_transfer_scale"
+  "../bench/fig15_transfer_scale.pdb"
+  "CMakeFiles/fig15_transfer_scale.dir/fig15_transfer_scale.cpp.o"
+  "CMakeFiles/fig15_transfer_scale.dir/fig15_transfer_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_transfer_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_footprint"
+  "../bench/fig16_footprint.pdb"
+  "CMakeFiles/fig16_footprint.dir/fig16_footprint.cpp.o"
+  "CMakeFiles/fig16_footprint.dir/fig16_footprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

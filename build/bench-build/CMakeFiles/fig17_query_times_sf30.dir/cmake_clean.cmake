@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_query_times_sf30"
+  "../bench/fig17_query_times_sf30.pdb"
+  "CMakeFiles/fig17_query_times_sf30.dir/fig17_query_times_sf30.cpp.o"
+  "CMakeFiles/fig17_query_times_sf30.dir/fig17_query_times_sf30.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_query_times_sf30.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_query_times_sf30.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_query_times_sf30.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_users_ssb"
+  "../bench/fig18_users_ssb.pdb"
+  "CMakeFiles/fig18_users_ssb.dir/fig18_users_ssb.cpp.o"
+  "CMakeFiles/fig18_users_ssb.dir/fig18_users_ssb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_users_ssb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

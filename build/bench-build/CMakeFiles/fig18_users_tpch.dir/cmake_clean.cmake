@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_users_tpch"
+  "../bench/fig18_users_tpch.pdb"
+  "CMakeFiles/fig18_users_tpch.dir/fig18_users_tpch.cpp.o"
+  "CMakeFiles/fig18_users_tpch.dir/fig18_users_tpch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_users_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

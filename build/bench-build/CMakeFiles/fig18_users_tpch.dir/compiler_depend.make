@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_users_tpch.
+# This may be replaced when dependencies are built.

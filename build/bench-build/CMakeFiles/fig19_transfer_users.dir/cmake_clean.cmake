@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_transfer_users"
+  "../bench/fig19_transfer_users.pdb"
+  "CMakeFiles/fig19_transfer_users.dir/fig19_transfer_users.cpp.o"
+  "CMakeFiles/fig19_transfer_users.dir/fig19_transfer_users.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_transfer_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_wasted_time"
+  "../bench/fig20_wasted_time.pdb"
+  "CMakeFiles/fig20_wasted_time.dir/fig20_wasted_time.cpp.o"
+  "CMakeFiles/fig20_wasted_time.dir/fig20_wasted_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_wasted_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_latencies_20users"
+  "../bench/fig21_latencies_20users.pdb"
+  "CMakeFiles/fig21_latencies_20users.dir/fig21_latencies_20users.cpp.o"
+  "CMakeFiles/fig21_latencies_20users.dir/fig21_latencies_20users.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_latencies_20users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

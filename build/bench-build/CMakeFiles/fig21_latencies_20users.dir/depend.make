@@ -1,0 +1,2 @@
+# Empty dependencies file for fig21_latencies_20users.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_tpch_backends"
+  "../bench/fig22_tpch_backends.pdb"
+  "CMakeFiles/fig22_tpch_backends.dir/fig22_tpch_backends.cpp.o"
+  "CMakeFiles/fig22_tpch_backends.dir/fig22_tpch_backends.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_tpch_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

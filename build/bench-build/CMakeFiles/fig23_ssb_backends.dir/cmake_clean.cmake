@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig23_ssb_backends"
+  "../bench/fig23_ssb_backends.pdb"
+  "CMakeFiles/fig23_ssb_backends.dir/fig23_ssb_backends.cpp.o"
+  "CMakeFiles/fig23_ssb_backends.dir/fig23_ssb_backends.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_ssb_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig24_lru_lfu"
+  "../bench/fig24_lru_lfu.pdb"
+  "CMakeFiles/fig24_lru_lfu.dir/fig24_lru_lfu.cpp.o"
+  "CMakeFiles/fig24_lru_lfu.dir/fig24_lru_lfu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_lru_lfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

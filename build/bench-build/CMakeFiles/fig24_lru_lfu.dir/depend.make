@@ -1,0 +1,2 @@
+# Empty dependencies file for fig24_lru_lfu.
+# This may be replaced when dependencies are built.

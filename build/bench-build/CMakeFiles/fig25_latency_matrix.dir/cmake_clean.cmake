@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig25_latency_matrix"
+  "../bench/fig25_latency_matrix.pdb"
+  "CMakeFiles/fig25_latency_matrix.dir/fig25_latency_matrix.cpp.o"
+  "CMakeFiles/fig25_latency_matrix.dir/fig25_latency_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_latency_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

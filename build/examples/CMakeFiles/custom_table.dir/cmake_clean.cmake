@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_table.dir/custom_table.cpp.o"
+  "CMakeFiles/custom_table.dir/custom_table.cpp.o.d"
+  "custom_table"
+  "custom_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

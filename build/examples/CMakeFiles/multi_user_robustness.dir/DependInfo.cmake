@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multi_user_robustness.cpp" "examples/CMakeFiles/multi_user_robustness.dir/multi_user_robustness.cpp.o" "gcc" "examples/CMakeFiles/multi_user_robustness.dir/multi_user_robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/hetdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/hetdb_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hetdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssb/CMakeFiles/hetdb_ssb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/hetdb_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hetdb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hype/CMakeFiles/hetdb_hype.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hetdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/operators/CMakeFiles/hetdb_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hetdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hetdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

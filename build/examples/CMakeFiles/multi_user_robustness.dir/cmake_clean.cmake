@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_user_robustness.dir/multi_user_robustness.cpp.o"
+  "CMakeFiles/multi_user_robustness.dir/multi_user_robustness.cpp.o.d"
+  "multi_user_robustness"
+  "multi_user_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_user_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("sim")
+subdirs("cache")
+subdirs("hype")
+subdirs("operators")
+subdirs("engine")
+subdirs("placement")
+subdirs("ssb")
+subdirs("tpch")
+subdirs("workload")
+subdirs("sql")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetdb_cache.dir/data_cache.cc.o"
+  "CMakeFiles/hetdb_cache.dir/data_cache.cc.o.d"
+  "libhetdb_cache.a"
+  "libhetdb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetdb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetdb_common.dir/logging.cc.o"
+  "CMakeFiles/hetdb_common.dir/logging.cc.o.d"
+  "CMakeFiles/hetdb_common.dir/status.cc.o"
+  "CMakeFiles/hetdb_common.dir/status.cc.o.d"
+  "libhetdb_common.a"
+  "libhetdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

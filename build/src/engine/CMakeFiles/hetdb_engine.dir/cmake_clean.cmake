@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetdb_engine.dir/chopping_executor.cc.o"
+  "CMakeFiles/hetdb_engine.dir/chopping_executor.cc.o.d"
+  "CMakeFiles/hetdb_engine.dir/operator_executor.cc.o"
+  "CMakeFiles/hetdb_engine.dir/operator_executor.cc.o.d"
+  "CMakeFiles/hetdb_engine.dir/query_executor.cc.o"
+  "CMakeFiles/hetdb_engine.dir/query_executor.cc.o.d"
+  "libhetdb_engine.a"
+  "libhetdb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetdb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetdb_hype.dir/cost_model.cc.o"
+  "CMakeFiles/hetdb_hype.dir/cost_model.cc.o.d"
+  "libhetdb_hype.a"
+  "libhetdb_hype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetdb_hype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/operators/expression.cc" "src/operators/CMakeFiles/hetdb_operators.dir/expression.cc.o" "gcc" "src/operators/CMakeFiles/hetdb_operators.dir/expression.cc.o.d"
+  "/root/repo/src/operators/kernels.cc" "src/operators/CMakeFiles/hetdb_operators.dir/kernels.cc.o" "gcc" "src/operators/CMakeFiles/hetdb_operators.dir/kernels.cc.o.d"
+  "/root/repo/src/operators/plan_node.cc" "src/operators/CMakeFiles/hetdb_operators.dir/plan_node.cc.o" "gcc" "src/operators/CMakeFiles/hetdb_operators.dir/plan_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hetdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hetdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

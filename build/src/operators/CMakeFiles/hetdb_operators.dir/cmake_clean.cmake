@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetdb_operators.dir/expression.cc.o"
+  "CMakeFiles/hetdb_operators.dir/expression.cc.o.d"
+  "CMakeFiles/hetdb_operators.dir/kernels.cc.o"
+  "CMakeFiles/hetdb_operators.dir/kernels.cc.o.d"
+  "CMakeFiles/hetdb_operators.dir/plan_node.cc.o"
+  "CMakeFiles/hetdb_operators.dir/plan_node.cc.o.d"
+  "libhetdb_operators.a"
+  "libhetdb_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetdb_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetdb_placement.dir/compile_time.cc.o"
+  "CMakeFiles/hetdb_placement.dir/compile_time.cc.o.d"
+  "CMakeFiles/hetdb_placement.dir/runtime.cc.o"
+  "CMakeFiles/hetdb_placement.dir/runtime.cc.o.d"
+  "CMakeFiles/hetdb_placement.dir/strategy_runner.cc.o"
+  "CMakeFiles/hetdb_placement.dir/strategy_runner.cc.o.d"
+  "libhetdb_placement.a"
+  "libhetdb_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetdb_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

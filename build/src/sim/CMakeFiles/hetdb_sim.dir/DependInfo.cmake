@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device_allocator.cc" "src/sim/CMakeFiles/hetdb_sim.dir/device_allocator.cc.o" "gcc" "src/sim/CMakeFiles/hetdb_sim.dir/device_allocator.cc.o.d"
+  "/root/repo/src/sim/pcie_bus.cc" "src/sim/CMakeFiles/hetdb_sim.dir/pcie_bus.cc.o" "gcc" "src/sim/CMakeFiles/hetdb_sim.dir/pcie_bus.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/hetdb_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/hetdb_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

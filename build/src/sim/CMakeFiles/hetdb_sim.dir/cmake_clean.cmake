@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetdb_sim.dir/device_allocator.cc.o"
+  "CMakeFiles/hetdb_sim.dir/device_allocator.cc.o.d"
+  "CMakeFiles/hetdb_sim.dir/pcie_bus.cc.o"
+  "CMakeFiles/hetdb_sim.dir/pcie_bus.cc.o.d"
+  "CMakeFiles/hetdb_sim.dir/simulator.cc.o"
+  "CMakeFiles/hetdb_sim.dir/simulator.cc.o.d"
+  "libhetdb_sim.a"
+  "libhetdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

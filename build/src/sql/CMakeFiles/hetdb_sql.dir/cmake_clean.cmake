@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetdb_sql.dir/lexer.cc.o"
+  "CMakeFiles/hetdb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/hetdb_sql.dir/parser.cc.o"
+  "CMakeFiles/hetdb_sql.dir/parser.cc.o.d"
+  "CMakeFiles/hetdb_sql.dir/planner.cc.o"
+  "CMakeFiles/hetdb_sql.dir/planner.cc.o.d"
+  "libhetdb_sql.a"
+  "libhetdb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetdb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

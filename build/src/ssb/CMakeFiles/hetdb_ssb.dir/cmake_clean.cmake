@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetdb_ssb.dir/ssb_generator.cc.o"
+  "CMakeFiles/hetdb_ssb.dir/ssb_generator.cc.o.d"
+  "CMakeFiles/hetdb_ssb.dir/ssb_queries.cc.o"
+  "CMakeFiles/hetdb_ssb.dir/ssb_queries.cc.o.d"
+  "libhetdb_ssb.a"
+  "libhetdb_ssb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetdb_ssb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hetdb_ssb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetdb_storage.dir/column.cc.o"
+  "CMakeFiles/hetdb_storage.dir/column.cc.o.d"
+  "CMakeFiles/hetdb_storage.dir/database.cc.o"
+  "CMakeFiles/hetdb_storage.dir/database.cc.o.d"
+  "CMakeFiles/hetdb_storage.dir/table.cc.o"
+  "CMakeFiles/hetdb_storage.dir/table.cc.o.d"
+  "libhetdb_storage.a"
+  "libhetdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/tpch_generator.cc" "src/tpch/CMakeFiles/hetdb_tpch.dir/tpch_generator.cc.o" "gcc" "src/tpch/CMakeFiles/hetdb_tpch.dir/tpch_generator.cc.o.d"
+  "/root/repo/src/tpch/tpch_queries.cc" "src/tpch/CMakeFiles/hetdb_tpch.dir/tpch_queries.cc.o" "gcc" "src/tpch/CMakeFiles/hetdb_tpch.dir/tpch_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/hetdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/operators/CMakeFiles/hetdb_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssb/CMakeFiles/hetdb_ssb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hetdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hetdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetdb_tpch.dir/tpch_generator.cc.o"
+  "CMakeFiles/hetdb_tpch.dir/tpch_generator.cc.o.d"
+  "CMakeFiles/hetdb_tpch.dir/tpch_queries.cc.o"
+  "CMakeFiles/hetdb_tpch.dir/tpch_queries.cc.o.d"
+  "libhetdb_tpch.a"
+  "libhetdb_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetdb_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

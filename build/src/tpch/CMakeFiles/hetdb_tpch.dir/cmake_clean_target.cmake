@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhetdb_tpch.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetdb_workload.dir/workload.cc.o"
+  "CMakeFiles/hetdb_workload.dir/workload.cc.o.d"
+  "libhetdb_workload.a"
+  "libhetdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

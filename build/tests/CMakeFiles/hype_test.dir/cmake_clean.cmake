@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hype_test.dir/hype_test.cc.o"
+  "CMakeFiles/hype_test.dir/hype_test.cc.o.d"
+  "hype_test"
+  "hype_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
