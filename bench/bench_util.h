@@ -2,6 +2,7 @@
 #define HETDB_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -9,19 +10,49 @@
 #include "common/config.h"
 #include "placement/strategy_runner.h"
 #include "ssb/ssb_generator.h"
+#include "telemetry/exporters.h"
+#include "telemetry/trace_recorder.h"
 #include "tpch/tpch_generator.h"
 #include "workload/workload.h"
 
 namespace hetdb::bench {
 
+/// Destination of the --trace-out flag (process-wide; written at exit).
+inline std::string& TraceOutPath() {
+  static std::string path;
+  return path;
+}
+
+/// Enables span recording and registers an atexit hook that exports the
+/// whole process's trace as Chrome trace-event JSON (open the file in
+/// https://ui.perfetto.dev or chrome://tracing).
+inline void EnableTraceExportAtExit(const std::string& path) {
+  TraceOutPath() = path;
+  TraceRecorder::Global().SetEnabled(true);
+  std::atexit([] {
+    const std::vector<TraceEvent> events = TraceRecorder::Global().Snapshot();
+    const Status status = WriteChromeTrace(TraceOutPath(), events);
+    if (status.ok()) {
+      std::fprintf(stderr, "# wrote %zu trace events to %s\n", events.size(),
+                   TraceOutPath().c_str());
+    } else {
+      std::fprintf(stderr, "# trace export failed: %s\n",
+                   status.ToString().c_str());
+    }
+  });
+}
+
 /// Command-line knobs shared by every figure benchmark:
-///   --quick        halve repetitions and shrink sweeps (CI-friendly)
-///   --full         paper-sized sweeps (slow)
-///   --time-scale X multiply all modeled durations (ratios unchanged)
+///   --quick          halve repetitions and shrink sweeps (CI-friendly)
+///   --full           paper-sized sweeps (slow)
+///   --time-scale X   multiply all modeled durations (ratios unchanged)
+///   --trace-out=FILE record spans and export a Perfetto-loadable
+///                    Chrome trace-event JSON file at exit
 struct BenchArgs {
   bool quick = false;
   bool full = false;
   double time_scale = 1.0;
+  std::string trace_out;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -31,7 +62,13 @@ struct BenchArgs {
       if (std::strcmp(argv[i], "--time-scale") == 0 && i + 1 < argc) {
         args.time_scale = std::atof(argv[++i]);
       }
+      if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+        args.trace_out = argv[i] + 12;
+      } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+        args.trace_out = argv[++i];
+      }
     }
+    if (!args.trace_out.empty()) EnableTraceExportAtExit(args.trace_out);
     return args;
   }
 };

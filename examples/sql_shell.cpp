@@ -4,16 +4,20 @@
 //   ./build/examples/sql_shell            # interactive
 //   echo "SELECT ..." | ./build/examples/sql_shell
 //
-// Meta commands: \tables, \cache, \quit
+// Meta commands: \tables, \cache, \trace SELECT ..., \quit
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "placement/strategy_runner.h"
 #include "sql/planner.h"
 #include "ssb/ssb_generator.h"
+#include "telemetry/trace_recorder.h"
 
 using namespace hetdb;
 
@@ -55,6 +59,82 @@ void PrintTable(const Table& table, size_t max_rows = 25) {
   }
 }
 
+const std::string* FindArg(const TraceEvent& event, const char* key) {
+  for (const auto& [name, value] : event.args) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+/// EXPLAIN ANALYZE-style rendering of one query's operator spans: the plan
+/// tree (reconstructed from node/parent ids) with the processor that ran
+/// each operator and its wall duration, plus a transfer summary.
+void PrintSpanTree(const std::vector<TraceEvent>& events) {
+  // The operator spans of the most recent query in the snapshot.
+  uint64_t query_id = 0;
+  for (const TraceEvent& event : events) {
+    if (std::string(event.category) == "operator") {
+      query_id = std::max(query_id, event.query_id);
+    }
+  }
+  std::vector<const TraceEvent*> operators;
+  std::map<uint64_t, std::vector<const TraceEvent*>> children;
+  for (const TraceEvent& event : events) {
+    if (std::string(event.category) != "operator" ||
+        event.query_id != query_id) {
+      continue;
+    }
+    operators.push_back(&event);
+    if (event.parent_id != 0) children[event.parent_id].push_back(&event);
+  }
+  if (operators.empty()) {
+    std::printf("(no operator spans recorded)\n");
+    return;
+  }
+
+  struct Printer {
+    const std::map<uint64_t, std::vector<const TraceEvent*>>& children;
+    void Print(const TraceEvent& event, int depth) const {
+      const std::string* processor = FindArg(event, "processor");
+      const std::string* retry = FindArg(event, "cpu_retry");
+      std::printf("  %*s%-*s %-4s %8.2f ms%s\n", depth * 2, "",
+                  std::max(2, 34 - depth * 2), event.name.c_str(),
+                  processor != nullptr ? processor->c_str() : "?",
+                  static_cast<double>(event.dur_micros) / 1000.0,
+                  retry != nullptr ? "  [GPU abort -> CPU retry]" : "");
+      auto it = children.find(event.node_id);
+      if (it == children.end()) return;
+      std::vector<const TraceEvent*> ordered = it->second;
+      std::sort(ordered.begin(), ordered.end(),
+                [](const TraceEvent* a, const TraceEvent* b) {
+                  return a->ts_micros < b->ts_micros;
+                });
+      for (const TraceEvent* child : ordered) Print(*child, depth + 1);
+    }
+  };
+  Printer printer{children};
+  for (const TraceEvent* op : operators) {
+    if (op->parent_id == 0) printer.Print(*op, 0);
+  }
+
+  int64_t transfer_micros = 0;
+  int64_t queue_wait_micros = 0;
+  int transfers = 0;
+  for (const TraceEvent& event : events) {
+    if (std::string(event.category) != "transfer") continue;
+    ++transfers;
+    transfer_micros += event.dur_micros;
+    if (const std::string* wait = FindArg(event, "queue_wait_us")) {
+      queue_wait_micros += std::atoll(wait->c_str());
+    }
+  }
+  if (transfers > 0) {
+    std::printf("  -- %d PCIe transfer(s), %.2f ms total (%.2f ms queuing)\n",
+                transfers, static_cast<double>(transfer_micros) / 1000.0,
+                static_cast<double>(queue_wait_micros) / 1000.0);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -73,7 +153,8 @@ int main() {
   std::printf(
       "Tables: lineorder, customer, supplier, part, date. Try:\n"
       "  SELECT d_year, sum(lo_revenue) AS revenue FROM lineorder, date\n"
-      "  WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year;\n\n");
+      "  WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year;\n"
+      "Meta: \\tables  \\cache  \\trace SELECT ...  \\quit\n\n");
 
   std::string line;
   while (true) {
@@ -95,6 +176,33 @@ int main() {
       for (const std::string& key : ctx.cache().CachedKeys()) {
         std::printf("    %s\n", key.c_str());
       }
+      continue;
+    }
+    if (line.rfind("\\trace", 0) == 0) {
+      const std::string sql = line.substr(6);
+      if (sql.find_first_not_of(" \t") == std::string::npos) {
+        std::printf("usage: \\trace SELECT ...  (runs the statement and\n"
+                    "prints the per-operator span tree with timings)\n");
+        continue;
+      }
+      Result<PlanNodePtr> plan = PlanSql(sql, *db);
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+        continue;
+      }
+      TraceRecorder& recorder = TraceRecorder::Global();
+      recorder.Clear();
+      recorder.SetEnabled(true);
+      Stopwatch watch;
+      Result<TablePtr> result = runner.RunQuery(plan.value());
+      const double total_ms = watch.ElapsedMillis();
+      recorder.SetEnabled(false);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("operator trace (%.2f ms total):\n", total_ms);
+      PrintSpanTree(recorder.Snapshot());
       continue;
     }
 

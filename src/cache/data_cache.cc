@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/trace_recorder.h"
 
 namespace hetdb {
 
@@ -105,6 +106,12 @@ DataCache::Access DataCache::RequireOnDevice(const ColumnPtr& column,
       // Transient: cannot be made resident; caller pays the transfer and
       // must keep the bytes in device heap for the operator's lifetime.
       lock.unlock();
+      TraceSpan transient_span;
+      if (TraceRecorder::enabled()) {
+        transient_span.Begin(key, "cache");
+        transient_span.AddArg("action", "transient");
+        transient_span.AddArg("bytes", static_cast<int64_t>(bytes));
+      }
       simulator_->bus().Transfer(bytes, TransferDirection::kHostToDevice);
       Access access;
       access.hit = false;
@@ -113,6 +120,12 @@ DataCache::Access DataCache::RequireOnDevice(const ColumnPtr& column,
     }
   }
   // Perform the modeled PCIe transfer without holding the cache latch.
+  TraceSpan admit_span;
+  if (TraceRecorder::enabled()) {
+    admit_span.Begin(key, "cache");
+    admit_span.AddArg("action", "admit");
+    admit_span.AddArg("bytes", static_cast<int64_t>(bytes));
+  }
   simulator_->bus().Transfer(bytes, TransferDirection::kHostToDevice);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -163,12 +176,22 @@ DataCache::PickVictim() {
 
 void DataCache::RemoveEntry(
     std::unordered_map<std::string, Entry>::iterator it) {
+  if (TraceRecorder::enabled()) {
+    RecordInstantEvent(it->first, "cache", /*query_id=*/0,
+                       {{"action", "evict"},
+                        {"bytes", std::to_string(it->second.bytes)}});
+  }
   used_bytes_ -= it->second.bytes;
   entries_.erase(it);
 }
 
 void DataCache::RunPlacementJob(
     const std::vector<std::pair<std::string, ColumnPtr>>& columns) {
+  TraceSpan job_span;
+  if (TraceRecorder::enabled()) {
+    job_span.Begin("placement job", "cache");
+    job_span.AddArg("candidates", static_cast<int64_t>(columns.size()));
+  }
   // Algorithm 1: K = columns sorted by access statistics descending (LFU:
   // frequency; LRU: recency — compared in Appendix E); fill the budget
   // greedily; evict cached \ selected; cache selected \ cached.
@@ -247,6 +270,10 @@ void DataCache::RunPlacementJob(
       ++stats_.insertions;
       to_load.emplace_back(key, column);
     }
+  }
+  if (job_span.active()) {
+    job_span.AddArg("selected", static_cast<int64_t>(selected.size()));
+    job_span.AddArg("loaded", static_cast<int64_t>(to_load.size()));
   }
   // Transfers outside the latch; queries seeing "loading" entries wait on
   // the per-entry latch, everything else proceeds.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "telemetry/trace_recorder.h"
 
 namespace hetdb {
 
@@ -33,6 +34,7 @@ std::future<Result<TablePtr>> ChoppingExecutor::Submit(PlanNodePtr root,
   auto query = std::make_shared<QueryExec>();
   query->root = std::move(root);
   query->placer = std::move(placer);
+  query->query_id = Telemetry::NextQueryId();
   std::future<Result<TablePtr>> future = query->promise.get_future();
 
   // Build the task graph (one task per operator).
@@ -88,6 +90,14 @@ void ChoppingExecutor::ScheduleTask(const QueryExecPtr& query, OpTask* task) {
                                         input_bytes);
   ctx_->load_tracker().AddPending(kind, task->load_estimate_micros);
 
+  if (TraceRecorder::enabled()) {
+    RecordInstantEvent(
+        "place " + task->node->label(), "placement", query->query_id,
+        {{"processor", ProcessorKindToString(kind)},
+         {"load_estimate_us",
+          std::to_string(static_cast<int64_t>(task->load_estimate_micros))}});
+  }
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // LIFO ready queues: an operator whose children just completed runs
@@ -131,11 +141,27 @@ void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
   inputs.reserve(task->children.size());
   for (OpTask* child : task->children) inputs.push_back(&child->result);
 
+  TraceSpan span;
+  if (TraceRecorder::enabled()) {
+    span.Begin(task->node->label(), "operator");
+    span.SetQuery(query->query_id);
+    span.SetNode(reinterpret_cast<uint64_t>(task->node),
+                 task->parent != nullptr
+                     ? reinterpret_cast<uint64_t>(task->parent->node)
+                     : 0);
+    span.AddArg("requested", ProcessorKindToString(kind));
+  }
   Result<ExecutedOperator> executed =
       ExecuteWithFallback(*task->node, inputs, kind, *ctx_);
   if (!executed.ok()) {
+    if (span.active()) span.AddArg("error", executed.status().ToString());
     FailQuery(query, executed.status());
     return;
+  }
+  if (span.active()) {
+    span.AddArg("processor", ProcessorKindToString(executed.value().ran_on));
+    if (executed.value().aborted) span.AddArg("cpu_retry", "true");
+    span.End();  // the span covers execution only, not parent scheduling
   }
   task->result = std::move(executed).value().result;
 

@@ -77,6 +77,7 @@ class ChoppingExecutor {
     std::promise<Result<TablePtr>> promise;
     std::vector<std::unique_ptr<OpTask>> tasks;
     std::atomic<bool> failed{false};
+    uint64_t query_id = 0;  ///< stamps this query's trace spans
   };
 
   using QueryExecPtr = std::shared_ptr<QueryExec>;

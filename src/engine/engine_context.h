@@ -5,17 +5,19 @@
 
 #include "cache/data_cache.h"
 #include "common/config.h"
-#include "engine/metrics.h"
 #include "hype/cost_model.h"
 #include "hype/load_tracker.h"
 #include "hype/scheduler.h"
 #include "sim/simulator.h"
 #include "storage/database.h"
+#include "telemetry/telemetry.h"
 
 namespace hetdb {
 
 /// Owns the full runtime state of one HetDB instance: the simulated machine,
-/// the device data cache, the HyPE optimizer state, and workload metrics.
+/// the device data cache, the HyPE optimizer state, and telemetry (metric
+/// registry + workload counters; trace recording is process-global, see
+/// telemetry/trace_recorder.h).
 ///
 /// Benchmarks construct one EngineContext per experimental configuration;
 /// executors and placement strategies all operate against it.
@@ -31,7 +33,7 @@ class EngineContext {
         load_tracker_(std::make_unique<LoadTracker>()),
         scheduler_(std::make_unique<HypeScheduler>(
             cost_model_.get(), load_tracker_.get(), simulator_.get())),
-        metrics_(std::make_unique<WorkloadMetrics>()),
+        telemetry_(std::make_unique<Telemetry>()),
         database_(std::move(database)) {}
 
   EngineContext(const EngineContext&) = delete;
@@ -42,7 +44,10 @@ class EngineContext {
   CostModel& cost_model() { return *cost_model_; }
   LoadTracker& load_tracker() { return *load_tracker_; }
   HypeScheduler& scheduler() { return *scheduler_; }
-  WorkloadMetrics& metrics() { return *metrics_; }
+  Telemetry& telemetry() { return *telemetry_; }
+  /// Workload counters live on the telemetry bundle; `metrics()` remains as
+  /// the established spelling at the recording sites.
+  Telemetry& metrics() { return *telemetry_; }
   const DatabasePtr& database() const { return database_; }
   const SystemConfig& config() const { return simulator_->config(); }
 
@@ -52,7 +57,7 @@ class EngineContext {
     simulator_->bus().ResetStats();
     simulator_->device_heap().ResetStats();
     cache_->ResetStats();
-    metrics_->Reset();
+    telemetry_->Reset();
   }
 
  private:
@@ -61,7 +66,7 @@ class EngineContext {
   std::unique_ptr<CostModel> cost_model_;
   std::unique_ptr<LoadTracker> load_tracker_;
   std::unique_ptr<HypeScheduler> scheduler_;
-  std::unique_ptr<WorkloadMetrics> metrics_;
+  std::unique_ptr<Telemetry> telemetry_;
   DatabasePtr database_;
 };
 

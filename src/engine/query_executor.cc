@@ -3,11 +3,15 @@
 #include <future>
 #include <vector>
 
+#include "telemetry/trace_recorder.h"
+
 namespace hetdb {
 
 Result<TablePtr> QueryExecutor::Execute(const PlanNodePtr& root,
                                         const PlacementMap& placement) {
-  HETDB_ASSIGN_OR_RETURN(OperatorResult result, ExecuteNode(root, placement));
+  query_id_ = Telemetry::NextQueryId();
+  HETDB_ASSIGN_OR_RETURN(OperatorResult result,
+                         ExecuteNode(root, placement, /*parent=*/nullptr));
   ctx_->metrics().RecordQueryDone();
   // If the final result still lives on the device, the user receives it on
   // the host: pay the copy-back.
@@ -20,14 +24,16 @@ Result<TablePtr> QueryExecutor::Execute(const PlanNodePtr& root,
 }
 
 Result<OperatorResult> QueryExecutor::ExecuteNode(
-    const PlanNodePtr& node, const PlacementMap& placement) {
+    const PlanNodePtr& node, const PlacementMap& placement,
+    const PlanNode* parent) {
   const auto& children = node->children();
   std::vector<OperatorResult> child_results;
   child_results.reserve(children.size());
 
   if (children.size() <= 1) {
     for (const PlanNodePtr& child : children) {
-      HETDB_ASSIGN_OR_RETURN(OperatorResult r, ExecuteNode(child, placement));
+      HETDB_ASSIGN_OR_RETURN(OperatorResult r,
+                             ExecuteNode(child, placement, node.get()));
       child_results.push_back(std::move(r));
     }
   } else {
@@ -37,8 +43,8 @@ Result<OperatorResult> QueryExecutor::ExecuteNode(
     futures.reserve(children.size());
     for (const PlanNodePtr& child : children) {
       futures.push_back(std::async(std::launch::async, [this, &child,
-                                                        &placement] {
-        return ExecuteNode(child, placement);
+                                                        &placement, &node] {
+        return ExecuteNode(child, placement, node.get());
       }));
     }
     Status first_error;
@@ -58,8 +64,25 @@ Result<OperatorResult> QueryExecutor::ExecuteNode(
   const ProcessorKind processor =
       it != placement.end() ? it->second : ProcessorKind::kCpu;
 
-  HETDB_ASSIGN_OR_RETURN(ExecutedOperator executed,
-                         ExecuteWithFallback(*node, inputs, processor, *ctx_));
+  TraceSpan span;
+  if (TraceRecorder::enabled()) {
+    span.Begin(node->label(), "operator");
+    span.SetQuery(query_id_);
+    span.SetNode(reinterpret_cast<uint64_t>(node.get()),
+                 reinterpret_cast<uint64_t>(parent));
+    span.AddArg("requested", ProcessorKindToString(processor));
+  }
+  Result<ExecutedOperator> attempt =
+      ExecuteWithFallback(*node, inputs, processor, *ctx_);
+  if (!attempt.ok()) {
+    if (span.active()) span.AddArg("error", attempt.status().ToString());
+    return attempt.status();
+  }
+  ExecutedOperator executed = std::move(attempt).value();
+  if (span.active()) {
+    span.AddArg("processor", ProcessorKindToString(executed.ran_on));
+    if (executed.aborted) span.AddArg("cpu_retry", "true");
+  }
   // child_results go out of scope here, releasing device residency of the
   // consumed inputs.
   return std::move(executed.result);

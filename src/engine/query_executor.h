@@ -34,9 +34,11 @@ class QueryExecutor {
 
  private:
   Result<OperatorResult> ExecuteNode(const PlanNodePtr& node,
-                                     const PlacementMap& placement);
+                                     const PlacementMap& placement,
+                                     const PlanNode* parent);
 
   EngineContext* ctx_;
+  uint64_t query_id_ = 0;  ///< stamps this query's trace spans
 };
 
 }  // namespace hetdb

@@ -1,5 +1,7 @@
 #include "sim/pcie_bus.h"
 
+#include "telemetry/trace_recorder.h"
+
 namespace hetdb {
 
 void PcieBus::Transfer(size_t bytes, TransferDirection direction,
@@ -10,9 +12,30 @@ void PcieBus::Transfer(size_t bytes, TransferDirection direction,
   // bytes / (MB/s) == microseconds, since 1 MB/s == 1 byte/us.
   const double micros = static_cast<double>(bytes) / effective_mbps;
   const int lane = Index(direction);
+
+  // Transfer span: total duration covers lane queuing + the modeled copy;
+  // the queue_wait_us arg separates the two (Figures 6/15/19 diagnose
+  // exactly this split).
+  TraceSpan span;
+  int64_t wait_start_micros = 0;
+  if (TraceRecorder::enabled()) {
+    span.Begin(direction == TransferDirection::kHostToDevice ? "H2D transfer"
+                                                             : "D2H transfer",
+               "transfer");
+    wait_start_micros = TraceRecorder::Global().NowMicros();
+  }
   {
     std::lock_guard<std::mutex> lock(lane_mutex_[lane]);
+    if (span.active()) {
+      span.AddArg("queue_wait_us",
+                  TraceRecorder::Global().NowMicros() - wait_start_micros);
+    }
     clock_->Charge(micros);
+  }
+  if (span.active()) {
+    span.AddArg("bytes", static_cast<int64_t>(bytes));
+    span.AddArg("modeled_us", static_cast<int64_t>(micros));
+    span.AddArg("mode", asynchronous ? "async" : "sync");
   }
   bytes_[lane].fetch_add(bytes, std::memory_order_relaxed);
   micros_[lane].fetch_add(static_cast<int64_t>(micros),

@@ -1,0 +1,150 @@
+#include "telemetry/exporters.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hetdb {
+
+namespace {
+
+void AppendJsonString(std::ostringstream& os, const std::string& text) {
+  os << '"' << JsonEscape(text) << '"';
+}
+
+void AppendEvent(std::ostringstream& os, const TraceEvent& event) {
+  os << "{\"name\":";
+  AppendJsonString(os, event.name);
+  os << ",\"cat\":";
+  AppendJsonString(os, event.category);
+  os << ",\"ph\":\"X\",\"ts\":" << event.ts_micros
+     << ",\"dur\":" << event.dur_micros << ",\"pid\":1,\"tid\":" << event.tid;
+  os << ",\"args\":{";
+  bool first = true;
+  auto emit = [&](const std::string& key, const std::string& value) {
+    if (!first) os << ',';
+    first = false;
+    AppendJsonString(os, key);
+    os << ':';
+    AppendJsonString(os, value);
+  };
+  if (event.query_id != 0) emit("query", std::to_string(event.query_id));
+  if (event.node_id != 0) emit("node", std::to_string(event.node_id));
+  if (event.parent_id != 0) emit("parent", std::to_string(event.parent_id));
+  for (const auto& [key, value] : event.args) emit(key, value);
+  os << "}}";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) os << ",\n";
+    AppendEvent(os, events[i]);
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  return WriteTextFile(path, ChromeTraceJson(events));
+}
+
+std::string MetricsJson(const MetricRegistry& registry) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    if (!first) os << ',';
+    first = false;
+    AppendJsonString(os, name);
+    os << ':' << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    if (!first) os << ',';
+    first = false;
+    AppendJsonString(os, name);
+    os << ':' << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snapshot] : registry.HistogramSnapshots()) {
+    if (!first) os << ',';
+    first = false;
+    AppendJsonString(os, name);
+    os << ":{\"count\":" << snapshot.count << ",\"sum\":" << snapshot.sum
+       << ",\"min\":" << snapshot.min << ",\"max\":" << snapshot.max
+       << ",\"mean\":" << snapshot.mean << ",\"p50\":" << snapshot.p50
+       << ",\"p95\":" << snapshot.p95 << ",\"p99\":" << snapshot.p99 << '}';
+  }
+  os << "}}\n";
+  return os.str();
+}
+
+std::string MetricsCsv(const MetricRegistry& registry) {
+  std::ostringstream os;
+  os << "kind,name,count,sum,min,max,mean,p50,p95,p99\n";
+  for (const auto& [name, value] : registry.CounterValues()) {
+    os << "counter," << name << ",," << value << ",,,,,,\n";
+  }
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    os << "gauge," << name << ",," << value << ",,,,,,\n";
+  }
+  for (const auto& [name, snapshot] : registry.HistogramSnapshots()) {
+    os << "histogram," << name << ',' << snapshot.count << ',' << snapshot.sum
+       << ',' << snapshot.min << ',' << snapshot.max << ',' << snapshot.mean
+       << ',' << snapshot.p50 << ',' << snapshot.p95 << ',' << snapshot.p99
+       << '\n';
+  }
+  return os.str();
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const bool ok = written == content.size() && std::fclose(file) == 0;
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace hetdb

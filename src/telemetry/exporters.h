@@ -1,0 +1,39 @@
+#ifndef HETDB_TELEMETRY_EXPORTERS_H_
+#define HETDB_TELEMETRY_EXPORTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_recorder.h"
+
+namespace hetdb {
+
+/// Serializes events as Chrome trace-event JSON (the object form with a
+/// `traceEvents` array of phase-`X` complete events), loadable in Perfetto
+/// (https://ui.perfetto.dev) and chrome://tracing.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Writes `ChromeTraceJson(events)` to `path`.
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+/// Metrics snapshot as a JSON object:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {name: {count, sum, min, max, mean, p50, p95, p99}}}
+std::string MetricsJson(const MetricRegistry& registry);
+
+/// Metrics snapshot as CSV rows: kind,name,count,sum,min,max,mean,p50,p95,p99
+/// (counters/gauges fill only the sum column).
+std::string MetricsCsv(const MetricRegistry& registry);
+
+/// Writes `content` to `path`, atomically truncating any previous content.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+/// Escapes a string for embedding in a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace hetdb
+
+#endif  // HETDB_TELEMETRY_EXPORTERS_H_

@@ -1,0 +1,104 @@
+#include "telemetry/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace hetdb {
+
+namespace {
+
+constexpr int kSubBucketShift = 4;  // log2(kSubBuckets)
+
+}  // namespace
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < kSubBuckets) return value < 0 ? 0 : static_cast<int>(value);
+  const uint64_t v = static_cast<uint64_t>(value);
+  const int exponent = 63 - std::countl_zero(v);  // >= kSubBucketShift
+  const int sub = static_cast<int>((v >> (exponent - kSubBucketShift)) &
+                                   (kSubBuckets - 1));
+  return (exponent - kSubBucketShift) * kSubBuckets + kSubBuckets + sub;
+}
+
+int64_t Histogram::BucketLowerBound(int index) {
+  if (index < kSubBuckets) return index;
+  const int exponent = (index - kSubBuckets) / kSubBuckets + kSubBucketShift;
+  const int sub = (index - kSubBuckets) % kSubBuckets;
+  return static_cast<int64_t>(kSubBuckets + sub) << (exponent - kSubBucketShift);
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) return index + 1;
+  const int exponent = (index - kSubBuckets) / kSubBuckets + kSubBucketShift;
+  return BucketLowerBound(index) + (int64_t{1} << (exponent - kSubBucketShift));
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen_min = min_.load(std::memory_order_relaxed);
+  while (value < seen_min &&
+         !min_.compare_exchange_weak(seen_min, value,
+                                     std::memory_order_relaxed)) {
+  }
+  int64_t seen_max = max_.load(std::memory_order_relaxed);
+  while (value > seen_max &&
+         !max_.compare_exchange_weak(seen_max, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::min() const {
+  const int64_t value = min_.load(std::memory_order_relaxed);
+  return value == INT64_MAX ? 0 : value;
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p == 100.0) return max();  // the maximum is tracked exactly
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n))));
+  uint64_t cumulative = 0;
+  for (int index = 0; index < kBucketCount; ++index) {
+    cumulative += buckets_[index].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      const int64_t midpoint =
+          (BucketLowerBound(index) + BucketUpperBound(index) - 1) / 2;
+      return std::clamp(midpoint, min(), max());
+    }
+  }
+  return max();
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count();
+  snapshot.sum = sum();
+  snapshot.min = min();
+  snapshot.max = max();
+  snapshot.mean = mean();
+  snapshot.p50 = Percentile(50);
+  snapshot.p95 = Percentile(95);
+  snapshot.p99 = Percentile(99);
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hetdb

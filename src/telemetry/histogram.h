@@ -1,0 +1,80 @@
+#ifndef HETDB_TELEMETRY_HISTOGRAM_H_
+#define HETDB_TELEMETRY_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hetdb {
+
+/// Point-in-time summary of a Histogram (see Histogram::Snapshot).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  double mean = 0;
+  int64_t p50 = 0;
+  int64_t p95 = 0;
+  int64_t p99 = 0;
+};
+
+/// Lock-free log-linear histogram for non-negative integer samples
+/// (latencies in microseconds, byte counts, ...).
+///
+/// Buckets: values below 16 are exact; above that, each power of two is
+/// split into 16 linear sub-buckets, so the quantization error of any
+/// percentile estimate is bounded by 1/16 ≈ 6% of the value (the paper's
+/// tail-latency comparisons, Figure 21, need ~10% resolution). `count`,
+/// `sum`, `min`, `max` — and therefore `mean` — are exact.
+///
+/// All mutation is relaxed-atomic: concurrent `Record` calls from any number
+/// of threads are safe and never block, which is what lets workload session
+/// threads share per-query histograms without a latch.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 16;  // linear sub-buckets per octave
+  static constexpr int kBucketCount = 960;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one sample. Negative values clamp to zero.
+  void Record(int64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded sample; 0 when empty.
+  int64_t min() const;
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// Exact arithmetic mean (sum/count); 0 when empty.
+  double mean() const;
+
+  /// Approximate percentile, `p` in [0, 100]. Returns the midpoint of the
+  /// bucket holding the p-th sample, clamped to [min, max]; 0 when empty.
+  int64_t Percentile(double p) const;
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Zeroes all state. Not linearizable against concurrent Record calls;
+  /// call between measurement phases.
+  void Reset();
+
+  /// Bucket index for `value` (exposed for tests).
+  static int BucketIndex(int64_t value);
+  /// Inclusive lower bound of bucket `index` (exposed for tests).
+  static int64_t BucketLowerBound(int index);
+  /// Exclusive upper bound of bucket `index` (exposed for tests).
+  static int64_t BucketUpperBound(int index);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{0};
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_TELEMETRY_HISTOGRAM_H_

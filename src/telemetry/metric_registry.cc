@@ -1,0 +1,66 @@
+#include "telemetry/metric_registry.h"
+
+namespace hetdb {
+
+Counter& MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, int64_t>> values;
+  values.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    values.emplace_back(name, counter->value());
+  }
+  return values;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricRegistry::GaugeValues()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, int64_t>> values;
+  values.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    values.emplace_back(name, gauge->value());
+  }
+  return values;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricRegistry::HistogramSnapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> snapshots;
+  snapshots.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshots.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshots;
+}
+
+}  // namespace hetdb

@@ -1,0 +1,79 @@
+#ifndef HETDB_TELEMETRY_METRIC_REGISTRY_H_
+#define HETDB_TELEMETRY_METRIC_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/histogram.h"
+
+namespace hetdb {
+
+/// Monotonically increasing counter (relaxed atomic).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (relaxed atomic).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Named counters, gauges, and histograms with create-on-first-use lookup.
+///
+/// `Get*` takes the registry mutex; hot paths should look a metric up once
+/// and keep the returned reference — it stays valid for the registry's
+/// lifetime (metrics are never removed). Recording through the returned
+/// objects is lock-free. Naming convention: `subsystem.metric` with `.`
+/// separators and an optional `.<label>` suffix, e.g.
+/// `workload.latency_us.Q1.1`.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Zeroes every registered metric (the instruments stay registered, so
+  /// cached references remain valid across measurement phases).
+  void Reset();
+
+  /// Sorted name -> value snapshots for the exporters.
+  std::vector<std::pair<std::string, int64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, int64_t>> GaugeValues() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> HistogramSnapshots()
+      const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_TELEMETRY_METRIC_REGISTRY_H_

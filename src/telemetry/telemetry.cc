@@ -1,0 +1,19 @@
+#include "telemetry/telemetry.h"
+
+#include <atomic>
+
+namespace hetdb {
+
+Telemetry::Telemetry()
+    : gpu_operator_aborts_(&registry_.GetCounter("engine.gpu_operator_aborts")),
+      wasted_micros_(&registry_.GetCounter("engine.wasted_micros")),
+      cpu_operators_(&registry_.GetCounter("engine.cpu_operators")),
+      gpu_operators_(&registry_.GetCounter("engine.gpu_operators")),
+      queries_completed_(&registry_.GetCounter("engine.queries_completed")) {}
+
+uint64_t Telemetry::NextQueryId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace hetdb

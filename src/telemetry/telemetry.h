@@ -1,0 +1,80 @@
+#ifndef HETDB_TELEMETRY_TELEMETRY_H_
+#define HETDB_TELEMETRY_TELEMETRY_H_
+
+#include <cstdint>
+
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_recorder.h"
+
+namespace hetdb {
+
+/// Per-EngineContext telemetry bundle: a MetricRegistry for counters,
+/// gauges, and histograms, plus typed recorders for the engine's core
+/// workload counters (the former `WorkloadMetrics`, now backed by named
+/// registry counters so they appear in metrics exports alongside everything
+/// else).
+///
+/// Tracing is process-global (`TraceRecorder::Global()`) — see
+/// trace_recorder.h for why — so `Telemetry` only exposes it for
+/// convenience; metrics are per-context and reset per workload run. These
+/// back the paper's evaluation:
+///
+///  * `engine.gpu_operator_aborts` — Figure 13 (aborted device operators);
+///  * `engine.wasted_micros` — Figure 20: operator start to abort, summed
+///    over aborted device operators;
+///  * `workload.latency_us.<query>` histograms — Figures 17, 21, 25 (tails);
+///  * transfer time/bytes are read from the PcieBus (Figures 6, 15, 19).
+class Telemetry {
+ public:
+  Telemetry();
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricRegistry& registry() { return registry_; }
+  const MetricRegistry& registry() const { return registry_; }
+  static TraceRecorder& recorder() { return TraceRecorder::Global(); }
+
+  /// Engine-global monotonically increasing query number, used to stamp
+  /// trace spans of one query's operators with a shared id.
+  static uint64_t NextQueryId();
+
+  // --- Workload counter API (drop-in for the former WorkloadMetrics) -------
+  void RecordGpuAbort(int64_t wasted_micros) {
+    gpu_operator_aborts_->Increment();
+    wasted_micros_->Increment(wasted_micros);
+  }
+  void RecordOperator(bool on_gpu) {
+    (on_gpu ? gpu_operators_ : cpu_operators_)->Increment();
+  }
+  void RecordQueryDone() { queries_completed_->Increment(); }
+
+  uint64_t gpu_operator_aborts() const {
+    return static_cast<uint64_t>(gpu_operator_aborts_->value());
+  }
+  int64_t wasted_micros() const { return wasted_micros_->value(); }
+  uint64_t cpu_operators() const {
+    return static_cast<uint64_t>(cpu_operators_->value());
+  }
+  uint64_t gpu_operators() const {
+    return static_cast<uint64_t>(gpu_operators_->value());
+  }
+  uint64_t queries_completed() const {
+    return static_cast<uint64_t>(queries_completed_->value());
+  }
+
+  /// Zeroes every metric in the registry (per-run reset).
+  void Reset() { registry_.Reset(); }
+
+ private:
+  MetricRegistry registry_;
+  // Cached so the hot recording paths skip the registry map lookup.
+  Counter* gpu_operator_aborts_;
+  Counter* wasted_micros_;
+  Counter* cpu_operators_;
+  Counter* gpu_operators_;
+  Counter* queries_completed_;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_TELEMETRY_TELEMETRY_H_

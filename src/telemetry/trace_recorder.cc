@@ -1,0 +1,123 @@
+#include "telemetry/trace_recorder.h"
+
+#include <algorithm>
+
+namespace hetdb {
+
+std::atomic<bool> TraceRecorder::enabled_{false};
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // leaked on purpose:
+  // worker threads may record during static destruction otherwise.
+  return *recorder;
+}
+
+int64_t TraceRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
+  // The shared_ptr keeps the buffer alive in buffers_ after thread exit, so
+  // a Snapshot taken later still sees the thread's events.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    fresh->tid = next_tid_++;
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  ThreadBuffer& buffer = LocalBuffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_micros < b.ts_micros;
+                   });
+  return events;
+}
+
+void TraceRecorder::Clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+size_t TraceRecorder::thread_count() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  size_t threads = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    if (!buffer->events.empty()) ++threads;
+  }
+  return threads;
+}
+
+void TraceSpan::Begin(std::string name, const char* category) {
+  active_ = true;
+  event_.name = std::move(name);
+  event_.category = category;
+  event_.ts_micros = TraceRecorder::Global().NowMicros();
+}
+
+void TraceSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  event_.dur_micros = TraceRecorder::Global().NowMicros() - event_.ts_micros;
+  TraceRecorder::Global().Record(std::move(event_));
+  event_ = TraceEvent();
+}
+
+void TraceSpan::AddArg(std::string key, std::string value) {
+  if (active_) event_.args.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceSpan::AddArg(std::string key, int64_t value) {
+  if (active_) event_.args.emplace_back(std::move(key), std::to_string(value));
+}
+
+void RecordInstantEvent(std::string name, const char* category,
+                        uint64_t query_id,
+                        std::vector<std::pair<std::string, std::string>> args) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.ts_micros = recorder.NowMicros();
+  event.query_id = query_id;
+  event.args = std::move(args);
+  recorder.Record(std::move(event));
+}
+
+}  // namespace hetdb

@@ -1,0 +1,148 @@
+#ifndef HETDB_TELEMETRY_TRACE_RECORDER_H_
+#define HETDB_TELEMETRY_TRACE_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hetdb {
+
+/// One completed trace span ("complete" event, Chrome trace phase `X`).
+/// Timestamps are microseconds since the recorder's epoch (process start of
+/// tracing), shared across threads so spans align on one timeline.
+struct TraceEvent {
+  std::string name;            ///< operator label, "H2D transfer", ...
+  const char* category = "";   ///< "operator", "transfer", "cache",
+                               ///< "placement", "query"
+  int64_t ts_micros = 0;       ///< start, relative to the recorder epoch
+  int64_t dur_micros = 0;      ///< wall-clock duration (0 for instants)
+  uint32_t tid = 0;            ///< recorder-assigned stable thread id
+  uint64_t query_id = 0;       ///< engine-global query number (0 = none)
+  uint64_t node_id = 0;        ///< plan-node identity (operator spans)
+  uint64_t parent_id = 0;      ///< parent plan-node identity (0 = root)
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Process-global span recorder with per-thread buffers.
+///
+/// Disabled (the default), an instrumented site costs exactly one relaxed
+/// atomic load — no clock read, no allocation, no lock. Enabled, each span
+/// is appended to the recording thread's own buffer under that buffer's
+/// (uncontended) mutex; `Snapshot` merges all buffers into one
+/// timestamp-ordered event list for export.
+///
+/// The recorder is global rather than per-EngineContext because spans are
+/// emitted from layers that have no context pointer (the PCIe bus, the data
+/// cache internals) and because one trace of a whole benchmark process —
+/// covering every context it creates — is exactly what Perfetto-style
+/// analysis wants.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The one-branch fast path every instrumented site checks first.
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the recorder epoch (monotonic, thread-safe).
+  int64_t NowMicros() const;
+
+  /// Appends a finished event to the calling thread's buffer, stamping its
+  /// thread id. Safe from any thread; never blocks on other recorders.
+  void Record(TraceEvent event);
+
+  /// Copies every buffered event, merged and sorted by start timestamp.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Drops all buffered events (thread buffers stay registered).
+  void Clear();
+
+  /// Number of threads that have recorded at least one event.
+  size_t thread_count() const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+    uint32_t tid = 0;
+  };
+
+  TraceRecorder();
+  ThreadBuffer& LocalBuffer();
+
+  static std::atomic<bool> enabled_;
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;  // guards buffers_ registration list
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_tid_ = 1;
+};
+
+/// RAII guard emitting one complete span to the global recorder.
+///
+/// Cheap-when-disabled usage at a hot site:
+///
+///     TraceSpan span;
+///     if (TraceRecorder::enabled()) {
+///       span.Begin(node.label(), "operator");   // clock read + strings
+///       span.SetQuery(query_id);
+///     }
+///     ... work ...
+///     if (span.active()) span.AddArg("processor", "GPU");
+///     // destructor records the event
+///
+/// The default constructor and the destructor of an inactive span do no
+/// work, so the disabled cost is the single `enabled()` branch.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  /// Convenience for static-name sites: begins immediately iff enabled.
+  TraceSpan(const char* name, const char* category) {
+    if (TraceRecorder::enabled()) Begin(name, category);
+  }
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void Begin(std::string name, const char* category);
+  /// Stamps the duration and records the event; idempotent.
+  void End();
+
+  bool active() const { return active_; }
+  void SetQuery(uint64_t query_id) {
+    if (active_) event_.query_id = query_id;
+  }
+  void SetNode(uint64_t node_id, uint64_t parent_id) {
+    if (active_) {
+      event_.node_id = node_id;
+      event_.parent_id = parent_id;
+    }
+  }
+  void AddArg(std::string key, std::string value);
+  void AddArg(std::string key, int64_t value);
+
+ private:
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+/// Records a zero-duration event (placement decisions, cache evictions).
+/// Call only after checking `TraceRecorder::enabled()`.
+void RecordInstantEvent(
+    std::string name, const char* category, uint64_t query_id = 0,
+    std::vector<std::pair<std::string, std::string>> args = {});
+
+}  // namespace hetdb
+
+#endif  // HETDB_TELEMETRY_TRACE_RECORDER_H_

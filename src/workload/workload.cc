@@ -7,19 +7,9 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "telemetry/histogram.h"
 
 namespace hetdb {
-
-namespace {
-
-/// One measurement-phase task: an index into the expanded query list.
-struct SessionStats {
-  std::map<std::string, double> latency_sum_ms;
-  std::map<std::string, int> latency_count;
-  uint64_t failed = 0;
-};
-
-}  // namespace
 
 std::string WorkloadRunResult::ToString() const {
   std::ostringstream os;
@@ -28,6 +18,11 @@ std::string WorkloadRunResult::ToString() const {
      << " wasted=" << wasted_millis << "ms gpu_ops=" << gpu_operators
      << " cpu_ops=" << cpu_operators << " queries=" << queries_run;
   if (failed_queries > 0) os << " FAILED=" << failed_queries;
+  for (const auto& [name, stats] : latency_stats_by_query) {
+    os << "\n  " << name << ": n=" << stats.count << " mean=" << stats.mean_ms
+       << "ms p50=" << stats.p50_ms << "ms p95=" << stats.p95_ms
+       << "ms p99=" << stats.p99_ms << "ms max=" << stats.max_ms << "ms";
+  }
   return os.str();
 }
 
@@ -65,35 +60,42 @@ WorkloadRunResult RunWorkload(StrategyRunner& runner,
   Semaphore admission(options.admission_limit > 0 ? options.admission_limit
                                                   : 1 << 20);
 
+  // Per-query-name latency histograms, shared by all session threads
+  // (recording is lock-free). Looked up once here so the session loop never
+  // touches the registry mutex.
+  std::map<std::string, Histogram*> latency_histograms;
+  for (const NamedQuery& query : queries) {
+    latency_histograms[query.name] = &ctx.telemetry().registry().GetHistogram(
+        "workload.latency_us." + query.name);
+  }
+
   const int num_users = std::max(1, options.num_users);
-  std::vector<SessionStats> session_stats(num_users);
+  std::vector<uint64_t> session_failed(num_users, 0);
   std::vector<std::thread> sessions;
   sessions.reserve(num_users);
 
   Stopwatch workload_watch;
   for (int user = 0; user < num_users; ++user) {
     sessions.emplace_back([&, user] {
-      SessionStats& stats = session_stats[user];
       while (true) {
         const size_t index = next_task.fetch_add(1, std::memory_order_relaxed);
         if (index >= tasks.size()) break;
         const NamedQuery& query = *tasks[index];
         Result<PlanNodePtr> plan = query.builder(db);
         if (!plan.ok()) {
-          ++stats.failed;
+          ++session_failed[user];
           continue;
         }
         admission.Acquire();
         Stopwatch latency;
         Result<TablePtr> result = runner.RunQuery(plan.value());
-        const double ms = latency.ElapsedMillis();
+        const int64_t micros = latency.ElapsedMicros();
         admission.Release();
         if (!result.ok()) {
-          ++stats.failed;
+          ++session_failed[user];
           continue;
         }
-        stats.latency_sum_ms[query.name] += ms;
-        stats.latency_count[query.name] += 1;
+        latency_histograms.at(query.name)->Record(micros);
       }
     });
   }
@@ -119,17 +121,21 @@ WorkloadRunResult RunWorkload(StrategyRunner& runner,
   result.gpu_operators = ctx.metrics().gpu_operators();
   result.queries_run = ctx.metrics().queries_completed();
 
-  std::map<std::string, double> latency_sums;
-  std::map<std::string, int> latency_counts;
-  for (const SessionStats& stats : session_stats) {
-    result.failed_queries += stats.failed;
-    for (const auto& [name, sum] : stats.latency_sum_ms) latency_sums[name] += sum;
-    for (const auto& [name, count] : stats.latency_count) {
-      latency_counts[name] += count;
-    }
+  for (const uint64_t failed : session_failed) {
+    result.failed_queries += failed;
   }
-  for (const auto& [name, sum] : latency_sums) {
-    result.latency_ms_by_query[name] = sum / latency_counts[name];
+  for (const auto& [name, histogram] : latency_histograms) {
+    const HistogramSnapshot snapshot = histogram->Snapshot();
+    if (snapshot.count == 0) continue;
+    QueryLatencyStats stats;
+    stats.count = snapshot.count;
+    stats.mean_ms = snapshot.mean / 1000.0;
+    stats.p50_ms = static_cast<double>(snapshot.p50) / 1000.0;
+    stats.p95_ms = static_cast<double>(snapshot.p95) / 1000.0;
+    stats.p99_ms = static_cast<double>(snapshot.p99) / 1000.0;
+    stats.max_ms = static_cast<double>(snapshot.max) / 1000.0;
+    result.latency_stats_by_query[name] = stats;
+    result.latency_ms_by_query[name] = stats.mean_ms;
   }
   return result;
 }

@@ -29,6 +29,18 @@ struct WorkloadRunOptions {
   int admission_limit = 0;
 };
 
+/// Latency distribution of one query name over a run, milliseconds.
+/// Percentiles come from a log-bucketed telemetry histogram (≤ ~6%
+/// quantization error); count and mean are exact.
+struct QueryLatencyStats {
+  uint64_t count = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
 /// Aggregated measurements of one workload run.
 struct WorkloadRunResult {
   double wall_millis = 0;           ///< workload span (response time)
@@ -42,8 +54,11 @@ struct WorkloadRunResult {
   uint64_t gpu_operators = 0;
   uint64_t queries_run = 0;
   uint64_t failed_queries = 0;
-  /// Mean latency per query name, milliseconds (Figures 17, 21, 25).
+  /// Mean latency per query name, milliseconds (Figures 17, 22, 23, 25).
   std::map<std::string, double> latency_ms_by_query;
+  /// Full latency distribution per query name, including the tail
+  /// percentiles of the paper's Figure 21 analysis.
+  std::map<std::string, QueryLatencyStats> latency_stats_by_query;
 
   std::string ToString() const;
 };

@@ -1,0 +1,503 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "telemetry/exporters.h"
+#include "telemetry/histogram.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_recorder.h"
+
+namespace hetdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator: full recursive-descent parse (structure only), so
+// the Chrome-trace golden-shape test genuinely checks "valid JSON", not just
+// substring presence.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Validate() {
+    SkipSpace();
+    if (!ParseValue()) return false;
+    SkipSpace();
+    return position_ == text_.size();
+  }
+
+ private:
+  bool ParseValue() {
+    if (position_ >= text_.size()) return false;
+    switch (text_[position_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    ++position_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') {
+      ++position_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!ParseString()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++position_;
+      SkipSpace();
+      if (!ParseValue()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++position_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++position_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++position_;  // '['
+    SkipSpace();
+    if (Peek() == ']') {
+      ++position_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!ParseValue()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++position_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++position_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString() {
+    if (Peek() != '"') return false;
+    ++position_;
+    while (position_ < text_.size()) {
+      const char c = text_[position_];
+      if (c == '\\') {
+        position_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++position_;
+        return true;
+      }
+      ++position_;
+    }
+    return false;
+  }
+
+  bool ParseNumber() {
+    const size_t start = position_;
+    if (Peek() == '-') ++position_;
+    while (position_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[position_])) ||
+            text_[position_] == '.' || text_[position_] == 'e' ||
+            text_[position_] == 'E' || text_[position_] == '+' ||
+            text_[position_] == '-')) {
+      ++position_;
+    }
+    return position_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t length = std::string(word).size();
+    if (text_.compare(position_, length, word) != 0) return false;
+    position_ += length;
+    return true;
+  }
+
+  char Peek() const { return position_ < text_.size() ? text_[position_] : 0; }
+  void SkipSpace() {
+    while (position_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[position_]))) {
+      ++position_;
+    }
+  }
+
+  const std::string& text_;
+  size_t position_ = 0;
+};
+
+// Isolates each test from spans other tests (or the process) recorded.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    TraceRecorder::Global().SetEnabled(false);
+    TraceRecorder::Global().Clear();
+  }
+};
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram histogram;
+  for (int value = 0; value < 16; ++value) histogram.Record(value);
+  EXPECT_EQ(histogram.count(), 16u);
+  EXPECT_EQ(histogram.min(), 0);
+  EXPECT_EQ(histogram.max(), 15);
+  EXPECT_EQ(histogram.sum(), 120);
+  // Below kSubBuckets every value has its own bucket: percentiles are exact.
+  EXPECT_EQ(histogram.Percentile(50), 7);
+  EXPECT_EQ(histogram.Percentile(100), 15);
+}
+
+TEST(HistogramTest, UniformDistributionPercentiles) {
+  Histogram histogram;
+  for (int value = 1; value <= 10000; ++value) histogram.Record(value);
+  EXPECT_EQ(histogram.count(), 10000u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 5000.5);
+  // Log-linear buckets with 16 sub-buckets per octave: <= ~6% quantization.
+  EXPECT_NEAR(histogram.Percentile(50), 5000, 5000 * 0.07);
+  EXPECT_NEAR(histogram.Percentile(95), 9500, 9500 * 0.07);
+  EXPECT_NEAR(histogram.Percentile(99), 9900, 9900 * 0.07);
+  EXPECT_EQ(histogram.max(), 10000);
+  // p100 clamps to the exact max.
+  EXPECT_EQ(histogram.Percentile(100), 10000);
+}
+
+TEST(HistogramTest, ConstantDistribution) {
+  Histogram histogram;
+  for (int i = 0; i < 1000; ++i) histogram.Record(777);
+  EXPECT_EQ(histogram.min(), 777);
+  EXPECT_EQ(histogram.max(), 777);
+  for (const double p : {1.0, 50.0, 95.0, 99.0, 100.0}) {
+    // Every sample in one bucket, clamped to [min, max]: exact.
+    EXPECT_EQ(histogram.Percentile(p), 777) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, SkewedTailDistribution) {
+  // 99 fast samples at ~1ms and one 100x outlier: p50 stays at the body,
+  // p99.5+/max capture the tail (the Figure 21 shape).
+  Histogram histogram;
+  for (int i = 0; i < 99; ++i) histogram.Record(1000);
+  histogram.Record(100000);
+  EXPECT_NEAR(histogram.Percentile(50), 1000, 1000 * 0.07);
+  EXPECT_EQ(histogram.max(), 100000);
+  EXPECT_NEAR(histogram.Percentile(99), 1000, 1000 * 0.07);
+  EXPECT_EQ(histogram.Percentile(100), 100000);
+}
+
+TEST(HistogramTest, NegativeClampsToZeroAndResetClears) {
+  Histogram histogram;
+  histogram.Record(-5);
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_EQ(histogram.min(), 0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.min(), 0);
+  EXPECT_EQ(histogram.max(), 0);
+  EXPECT_EQ(histogram.Percentile(50), 0);
+}
+
+TEST(HistogramTest, BucketBoundsAreContiguous) {
+  for (int index = 0; index < Histogram::kBucketCount - 1; ++index) {
+    EXPECT_EQ(Histogram::BucketUpperBound(index),
+              Histogram::BucketLowerBound(index + 1))
+        << "at index " << index;
+  }
+  // Round-trip: every bucket's lower bound maps back to that bucket.
+  for (int index = 0; index < 600; ++index) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(index)),
+              index);
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      std::mt19937 rng(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(rng() % 100000);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(), uint64_t{kThreads} * kPerThread);
+  uint64_t reconstructed = 0;
+  for (const double p : {50.0, 95.0, 99.0}) {
+    EXPECT_GT(histogram.Percentile(p), 0);
+  }
+  (void)reconstructed;
+}
+
+// --- MetricRegistry ---------------------------------------------------------
+
+TEST(MetricRegistryTest, SameNameReturnsSameInstrument) {
+  MetricRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.value(), 3);
+  Histogram& h1 = registry.GetHistogram("h");
+  Histogram& h2 = registry.GetHistogram("h");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricRegistryTest, ResetZeroesButKeepsInstruments) {
+  MetricRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  Gauge& gauge = registry.GetGauge("g");
+  Histogram& histogram = registry.GetHistogram("h");
+  counter.Increment(7);
+  gauge.Set(42);
+  histogram.Record(100);
+  registry.Reset();
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(histogram.count(), 0u);
+  // Cached references stay valid and usable after Reset.
+  counter.Increment();
+  EXPECT_EQ(registry.GetCounter("c").value(), 1);
+}
+
+TEST(MetricRegistryTest, SnapshotsAreSortedByName) {
+  MetricRegistry registry;
+  registry.GetCounter("b").Increment();
+  registry.GetCounter("a").Increment();
+  const auto values = registry.CounterValues();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].first, "a");
+  EXPECT_EQ(values[1].first, "b");
+}
+
+TEST(TelemetryTest, WorkloadCountersRoundTrip) {
+  Telemetry telemetry;
+  telemetry.RecordOperator(/*on_gpu=*/true);
+  telemetry.RecordOperator(/*on_gpu=*/false);
+  telemetry.RecordOperator(/*on_gpu=*/false);
+  telemetry.RecordGpuAbort(1500);
+  telemetry.RecordQueryDone();
+  EXPECT_EQ(telemetry.gpu_operators(), 1u);
+  EXPECT_EQ(telemetry.cpu_operators(), 2u);
+  EXPECT_EQ(telemetry.gpu_operator_aborts(), 1u);
+  EXPECT_EQ(telemetry.wasted_micros(), 1500);
+  EXPECT_EQ(telemetry.queries_completed(), 1u);
+  // The counters are ordinary registry metrics, visible to exporters.
+  EXPECT_EQ(telemetry.registry().GetCounter("engine.gpu_operators").value(), 1);
+  telemetry.Reset();
+  EXPECT_EQ(telemetry.gpu_operators(), 0u);
+  EXPECT_EQ(telemetry.wasted_micros(), 0);
+}
+
+TEST(TelemetryTest, QueryIdsAreUnique) {
+  const uint64_t first = Telemetry::NextQueryId();
+  const uint64_t second = Telemetry::NextQueryId();
+  EXPECT_LT(first, second);
+}
+
+// --- TraceRecorder / TraceSpan ----------------------------------------------
+
+TEST_F(TraceTest, DisabledSpanRecordsNothing) {
+  TraceRecorder::Global().SetEnabled(false);
+  {
+    TraceSpan span;
+    if (TraceRecorder::enabled()) span.Begin("never", "test");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(TraceRecorder::Global().Snapshot().empty());
+}
+
+TEST_F(TraceTest, SpanNestingAndOrdering) {
+  {
+    TraceSpan outer("outer", "test");
+    {
+      TraceSpan inner("inner", "test");
+    }
+  }
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Snapshot is ordered by start time.
+  EXPECT_LE(events[0].ts_micros, events[1].ts_micros);
+  const TraceEvent& outer =
+      events[0].name == "outer" ? events[0] : events[1];
+  const TraceEvent& inner =
+      events[0].name == "inner" ? events[0] : events[1];
+  ASSERT_EQ(outer.name, "outer");
+  ASSERT_EQ(inner.name, "inner");
+  // The inner span nests inside the outer on the timeline.
+  EXPECT_GE(inner.ts_micros, outer.ts_micros);
+  EXPECT_LE(inner.ts_micros + inner.dur_micros,
+            outer.ts_micros + outer.dur_micros);
+  // Same thread, same recorder-assigned tid.
+  EXPECT_EQ(outer.tid, inner.tid);
+}
+
+TEST_F(TraceTest, SpanCarriesIdsAndArgs) {
+  {
+    TraceSpan span;
+    span.Begin("op", "operator");
+    span.SetQuery(7);
+    span.SetNode(100, 50);
+    span.AddArg("processor", "GPU");
+    span.AddArg("bytes", int64_t{4096});
+  }
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].query_id, 7u);
+  EXPECT_EQ(events[0].node_id, 100u);
+  EXPECT_EQ(events[0].parent_id, 50u);
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].first, "processor");
+  EXPECT_EQ(events[0].args[0].second, "GPU");
+  EXPECT_EQ(events[0].args[1].second, "4096");
+}
+
+TEST_F(TraceTest, ConcurrentRecordingFromManyThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span;
+        if (TraceRecorder::enabled()) {
+          span.Begin("concurrent", "test");
+          span.AddArg("i", int64_t{i});
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Snapshot();
+  EXPECT_EQ(events.size(), size_t{kThreads} * kSpansPerThread);
+  EXPECT_GE(TraceRecorder::Global().thread_count(), size_t{kThreads});
+  // Snapshot is globally ordered by start timestamp.
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const TraceEvent& a, const TraceEvent& b) {
+                               return a.ts_micros < b.ts_micros;
+                             }));
+}
+
+TEST_F(TraceTest, ClearDropsEvents) {
+  {
+    TraceSpan span("x", "test");
+  }
+  EXPECT_EQ(TraceRecorder::Global().Snapshot().size(), 1u);
+  TraceRecorder::Global().Clear();
+  EXPECT_TRUE(TraceRecorder::Global().Snapshot().empty());
+}
+
+// --- Exporters --------------------------------------------------------------
+
+TEST_F(TraceTest, ChromeTraceExportIsValidJsonWithRequiredFields) {
+  {
+    TraceSpan span;
+    span.Begin("SELECT \"quoted\"\nname", "operator");  // escaping required
+    span.SetQuery(3);
+    span.AddArg("processor", "GPU");
+  }
+  RecordInstantEvent("place scan", "placement", 3, {{"processor", "CPU"}});
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const std::string json = ChromeTraceJson(events);
+
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Validate()) << json;
+
+  // Golden-shape: the traceEvents array and one ph/ts/dur/pid/tid per event.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  size_t events_found = 0;
+  for (size_t at = json.find("\"ph\":\"X\""); at != std::string::npos;
+       at = json.find("\"ph\":\"X\"", at + 1)) {
+    ++events_found;
+  }
+  EXPECT_EQ(events_found, events.size());
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  // The quote and newline in the span name were escaped.
+  EXPECT_NE(json.find("SELECT \\\"quoted\\\"\\nname"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeTraceExportRoundTripsThroughFile) {
+  {
+    TraceSpan span("file span", "test");
+  }
+  const std::string path = ::testing::TempDir() + "/hetdb_trace_test.json";
+  const Status status =
+      WriteChromeTrace(path, TraceRecorder::Global().Snapshot());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string content;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, read);
+  }
+  std::fclose(file);
+  JsonValidator validator(content);
+  EXPECT_TRUE(validator.Validate());
+  EXPECT_NE(content.find("file span"), std::string::npos);
+}
+
+TEST(ExportersTest, MetricsJsonIsValidAndComplete) {
+  MetricRegistry registry;
+  registry.GetCounter("engine.gpu_operators").Increment(5);
+  registry.GetGauge("cache.used_bytes").Set(1024);
+  Histogram& histogram = registry.GetHistogram("workload.latency_us.Q1.1");
+  for (int i = 1; i <= 100; ++i) histogram.Record(i * 10);
+
+  const std::string json = MetricsJson(registry);
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Validate()) << json;
+  EXPECT_NE(json.find("\"engine.gpu_operators\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.used_bytes\":1024"), std::string::npos);
+  EXPECT_NE(json.find("\"workload.latency_us.Q1.1\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+
+  const std::string csv = MetricsCsv(registry);
+  EXPECT_NE(csv.find("kind,name,count,sum,min,max,mean,p50,p95,p99"),
+            std::string::npos);
+  EXPECT_NE(csv.find("counter,engine.gpu_operators"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,workload.latency_us.Q1.1,100"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetdb
