@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "cache/data_cache.h"
+#include "common/config.h"
+#include "common/parallel.h"
 #include "operators/kernels.h"
 #include "sim/simulator.h"
 #include "ssb/ssb_generator.h"
@@ -35,7 +37,33 @@ SystemConfig NoSimConfig() {
   return config;
 }
 
-void BM_Filter(benchmark::State& state) {
+/// Applies a kernel backend + worker count for one benchmark run and
+/// restores the previous configuration afterwards. The DopBudget capacity is
+/// raised to the requested count so the arena actually runs that wide.
+class BackendGuard {
+ public:
+  BackendGuard(KernelBackend backend, int threads)
+      : saved_(GlobalKernelConfig()),
+        saved_capacity_(DopBudget::Global().capacity()) {
+    GlobalKernelConfig().backend = backend;
+    GlobalKernelConfig().max_dop = threads;
+    DopBudget::Global().SetCapacity(threads);
+  }
+  ~BackendGuard() {
+    GlobalKernelConfig() = saved_;
+    DopBudget::Global().SetCapacity(saved_capacity_);
+  }
+
+ private:
+  KernelConfig saved_;
+  int saved_capacity_;
+};
+
+// The Scalar/Parallel pairs below measure the same operation on the two
+// kernel backends; scripts/bench_kernels.sh records both and reports the
+// speedup Parallel/threads:8 achieves over Scalar (BENCH_kernels.json).
+
+void RunFilterBench(benchmark::State& state) {
   DatabasePtr db = BenchDb();
   TablePtr lineorder = db->GetTable("lineorder").value();
   const ConjunctiveFilter filter = ConjunctiveFilter::And(
@@ -48,9 +76,21 @@ void BM_Filter(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * 2 * 4 *
                           static_cast<int64_t>(lineorder->num_rows()));
 }
-BENCHMARK(BM_Filter);
 
-void BM_HashJoin(benchmark::State& state) {
+void BM_FilterScalar(benchmark::State& state) {
+  BackendGuard guard(KernelBackend::kScalar, 1);
+  RunFilterBench(state);
+}
+BENCHMARK(BM_FilterScalar);
+
+void BM_FilterParallel(benchmark::State& state) {
+  BackendGuard guard(KernelBackend::kMorselParallel,
+                     static_cast<int>(state.range(0)));
+  RunFilterBench(state);
+}
+BENCHMARK(BM_FilterParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void RunHashJoinBench(benchmark::State& state) {
   DatabasePtr db = BenchDb();
   TablePtr lineorder = db->GetTable("lineorder").value();
   TablePtr supplier = db->GetTable("supplier").value();
@@ -65,9 +105,21 @@ void BM_HashJoin(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(lineorder->num_rows()));
 }
-BENCHMARK(BM_HashJoin);
 
-void BM_Aggregate(benchmark::State& state) {
+void BM_HashJoinScalar(benchmark::State& state) {
+  BackendGuard guard(KernelBackend::kScalar, 1);
+  RunHashJoinBench(state);
+}
+BENCHMARK(BM_HashJoinScalar);
+
+void BM_HashJoinParallel(benchmark::State& state) {
+  BackendGuard guard(KernelBackend::kMorselParallel,
+                     static_cast<int>(state.range(0)));
+  RunHashJoinBench(state);
+}
+BENCHMARK(BM_HashJoinParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void RunAggregateBench(benchmark::State& state) {
   DatabasePtr db = BenchDb();
   TablePtr lineorder = db->GetTable("lineorder").value();
   for (auto _ : state) {
@@ -78,7 +130,19 @@ void BM_Aggregate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(lineorder->num_rows()));
 }
-BENCHMARK(BM_Aggregate);
+
+void BM_AggregateScalar(benchmark::State& state) {
+  BackendGuard guard(KernelBackend::kScalar, 1);
+  RunAggregateBench(state);
+}
+BENCHMARK(BM_AggregateScalar);
+
+void BM_AggregateParallel(benchmark::State& state) {
+  BackendGuard guard(KernelBackend::kMorselParallel,
+                     static_cast<int>(state.range(0)));
+  RunAggregateBench(state);
+}
+BENCHMARK(BM_AggregateParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_Sort(benchmark::State& state) {
   DatabasePtr db = BenchDb();

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "telemetry/trace_recorder.h"
 
 namespace hetdb {
@@ -151,6 +152,11 @@ void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
                      : 0);
     span.AddArg("requested", ProcessorKindToString(kind));
   }
+  // Charge this worker's core against the shared DoP budget while the
+  // operator runs, so kernel-internal morsel parallelism on top of a busy
+  // chopping pool cannot oversubscribe the machine. Best effort: with no
+  // token available the operator still runs (kernels just stay serial).
+  DopBudget::Token dop_token(&DopBudget::Global());
   Result<ExecutedOperator> executed =
       ExecuteWithFallback(*task->node, inputs, kind, *ctx_);
   if (!executed.ok()) {

@@ -1,20 +1,90 @@
 #include "operators/kernels.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <numeric>
 #include <unordered_map>
 
+#include "common/config.h"
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "telemetry/telemetry.h"
 
 namespace hetdb {
 
 namespace {
 
+constexpr uint32_t kNoEntry = std::numeric_limits<uint32_t>::max();
+
+bool UseParallelBackend() {
+  return GlobalKernelConfig().backend == KernelBackend::kMorselParallel;
+}
+
+size_t ConfigMorselRows() {
+  return std::max<size_t>(1, GlobalKernelConfig().morsel_rows);
+}
+
 // ---------------------------------------------------------------------------
-// Predicate evaluation
+// Telemetry
 // ---------------------------------------------------------------------------
+
+/// Handles into GlobalKernelMetrics() for one kernel, resolved once (the
+/// registry lookup takes a lock; the handles themselves are lock-free).
+struct KernelStats {
+  Histogram* latency_us;
+  Histogram* dop;
+  Counter* invocations;
+  Counter* morsels;
+
+  explicit KernelStats(const std::string& kernel) {
+    MetricRegistry& registry = GlobalKernelMetrics();
+    latency_us = &registry.GetHistogram("kernel." + kernel + ".latency_us");
+    dop = &registry.GetHistogram("kernel." + kernel + ".dop");
+    invocations = &registry.GetCounter("kernel." + kernel + ".invocations");
+    morsels = &registry.GetCounter("kernel." + kernel + ".morsels");
+  }
+};
+
+/// Counts one invocation and records its wall time on destruction.
+class KernelTimer {
+ public:
+  explicit KernelTimer(KernelStats& stats) : stats_(stats) {
+    stats_.invocations->Increment();
+  }
+  ~KernelTimer() { stats_.latency_us->Record(watch_.ElapsedMicros()); }
+  KernelTimer(const KernelTimer&) = delete;
+  KernelTimer& operator=(const KernelTimer&) = delete;
+
+ private:
+  KernelStats& stats_;
+  Stopwatch watch_;
+};
+
+/// Records one morsel loop: how many morsels it covered and the worker count
+/// ParallelFor actually achieved (the degree of parallelism).
+void RecordLoop(KernelStats& stats, size_t total, size_t morsel_rows,
+                int workers) {
+  stats.dop->Record(workers);
+  stats.morsels->Increment(static_cast<int64_t>(
+      total == 0 ? 0 : (total + morsel_rows - 1) / morsel_rows));
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix. Top bits pick the join
+/// partition, low bits the hash-table slot, so the two are independent.
+inline uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 template <typename T, typename U>
 bool CompareValues(T lhs, CompareOp op, U rhs, U rhs2) {
@@ -53,7 +123,82 @@ Result<int64_t> ValueAsInt64(const Value& value) {
   return Status::InvalidArgument("expected numeric constant, got string");
 }
 
-/// Ors the rows matching `atom` into `mask`.
+/// Reads an integer join key; fatal if the column is not integer-typed.
+int64_t IntKeyAt(const Column& column, size_t row) {
+  if (column.type() == DataType::kInt32) {
+    return static_cast<const Int32Column&>(column).value(row);
+  }
+  HETDB_CHECK(column.type() == DataType::kInt64);
+  return static_cast<const Int64Column&>(column).value(row);
+}
+
+/// Reads a numeric column value as double (fatal on string columns).
+double NumericAt(const Column& column, size_t row) {
+  switch (column.type()) {
+    case DataType::kInt32:
+      return static_cast<const Int32Column&>(column).value(row);
+    case DataType::kInt64:
+      return static_cast<double>(
+          static_cast<const Int64Column&>(column).value(row));
+    case DataType::kDouble:
+      return static_cast<const DoubleColumn&>(column).value(row);
+    case DataType::kString:
+      HETDB_LOG(Fatal) << "numeric access on string column " << column.name();
+  }
+  return 0;
+}
+
+/// out[i] = src[rows[i]]; morsel-parallel under the parallel backend. The
+/// value order (and hence the result) is identical either way.
+template <typename T>
+std::vector<T> GatherValues(const std::vector<T>& src,
+                            const std::vector<uint32_t>& rows) {
+  std::vector<T> out(rows.size());
+  if (UseParallelBackend()) {
+    ParallelFor(rows.size(), ConfigMorselRows(),
+                [&](size_t begin, size_t end, int) {
+                  for (size_t i = begin; i < end; ++i) out[i] = src[rows[i]];
+                });
+  } else {
+    for (size_t i = 0; i < rows.size(); ++i) out[i] = src[rows[i]];
+  }
+  return out;
+}
+
+/// Copies `rows` of `source` into a fresh column. The output is named
+/// `name_override` when non-empty, `source.name()` otherwise.
+ColumnPtr GatherColumn(const Column& source, const std::vector<uint32_t>& rows,
+                       const std::string& name_override = "") {
+  const std::string& name =
+      name_override.empty() ? source.name() : name_override;
+  switch (source.type()) {
+    case DataType::kInt32:
+      return std::make_shared<Int32Column>(
+          name,
+          GatherValues(static_cast<const Int32Column&>(source).values(), rows));
+    case DataType::kInt64:
+      return std::make_shared<Int64Column>(
+          name,
+          GatherValues(static_cast<const Int64Column&>(source).values(), rows));
+    case DataType::kDouble:
+      return std::make_shared<DoubleColumn>(
+          name, GatherValues(static_cast<const DoubleColumn&>(source).values(),
+                             rows));
+    case DataType::kString: {
+      const auto& str = static_cast<const StringColumn&>(source);
+      auto out = StringColumn::FromDictionary(name, str.dictionary());
+      out->mutable_codes() = GatherValues(str.codes(), rows);
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Filter: predicate compilation + evaluation
+// ---------------------------------------------------------------------------
+
+/// Ors the rows matching `atom` into `mask` (scalar reference path).
 Status EvalAtomInto(const Table& input, const Predicate& atom,
                     std::vector<uint8_t>* mask) {
   HETDB_ASSIGN_OR_RETURN(ColumnPtr column, input.GetColumn(atom.column));
@@ -177,74 +322,209 @@ Status EvalAtomInto(const Table& input, const Predicate& atom,
   return Status::Internal("unhandled column type");
 }
 
-/// Reads an integer join key; fatal if the column is not integer-typed.
-int64_t IntKeyAt(const Column& column, size_t row) {
-  if (column.type() == DataType::kInt32) {
-    return static_cast<const Int32Column&>(column).value(row);
-  }
-  HETDB_CHECK(column.type() == DataType::kInt64);
-  return static_cast<const Int64Column&>(column).value(row);
-}
+/// One predicate atom lowered to raw pointers and resolved constants, so the
+/// morsel loop evaluates it branch-free (no variant access, no dictionary
+/// lookups, no per-row type dispatch).
+struct CompiledAtom {
+  enum class Kind {
+    kInt32Cmp,   ///< int32 column vs int64 constant(s)
+    kInt64Cmp,   ///< int64 column vs int64 constant(s)
+    kDoubleCmp,  ///< double column vs double constant(s)
+    kCodeEq,     ///< string codes == clo
+    kCodeNe,     ///< string codes != clo
+    kCodeRange,  ///< string codes in [clo, chi)
+    kAllRows,    ///< matches every row (Ne of an absent constant)
+    kNoRows,     ///< matches no row (Eq of an absent constant)
+  };
+  Kind kind = Kind::kNoRows;
+  CompareOp op = CompareOp::kEq;
+  const int32_t* i32 = nullptr;
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+  const int32_t* codes = nullptr;
+  int64_t ilo = 0, ihi = 0;
+  double dlo = 0, dhi = 0;
+  int32_t clo = 0, chi = 0;
+};
 
-/// Copies `rows` of `source` into a fresh column. The output is named
-/// `name_override` when non-empty, `source.name()` otherwise.
-ColumnPtr GatherColumn(const Column& source, const std::vector<uint32_t>& rows,
-                       const std::string& name_override = "") {
-  const std::string& name =
-      name_override.empty() ? source.name() : name_override;
-  switch (source.type()) {
-    case DataType::kInt32: {
-      const auto& values = static_cast<const Int32Column&>(source).values();
-      std::vector<int32_t> out;
-      out.reserve(rows.size());
-      for (uint32_t r : rows) out.push_back(values[r]);
-      return std::make_shared<Int32Column>(name, std::move(out));
-    }
+/// Lowers `atom` against `input`. Mirrors EvalAtomInto exactly: same column
+/// lookup, same constant coercions, and the same error statuses in the same
+/// order, so both backends fail identically.
+Result<CompiledAtom> CompileAtom(const Table& input, const Predicate& atom) {
+  HETDB_ASSIGN_OR_RETURN(ColumnPtr column, input.GetColumn(atom.column));
+  CompiledAtom out;
+  out.op = atom.op;
+
+  switch (column->type()) {
+    case DataType::kInt32:
     case DataType::kInt64: {
-      const auto& values = static_cast<const Int64Column&>(source).values();
-      std::vector<int64_t> out;
-      out.reserve(rows.size());
-      for (uint32_t r : rows) out.push_back(values[r]);
-      return std::make_shared<Int64Column>(name, std::move(out));
+      HETDB_ASSIGN_OR_RETURN(out.ilo, ValueAsInt64(atom.value));
+      if (atom.op == CompareOp::kBetween) {
+        HETDB_ASSIGN_OR_RETURN(out.ihi, ValueAsInt64(atom.value2));
+      }
+      if (column->type() == DataType::kInt32) {
+        out.kind = CompiledAtom::Kind::kInt32Cmp;
+        out.i32 = static_cast<const Int32Column&>(*column).values().data();
+      } else {
+        out.kind = CompiledAtom::Kind::kInt64Cmp;
+        out.i64 = static_cast<const Int64Column&>(*column).values().data();
+      }
+      return out;
     }
     case DataType::kDouble: {
-      const auto& values = static_cast<const DoubleColumn&>(source).values();
-      std::vector<double> out;
-      out.reserve(rows.size());
-      for (uint32_t r : rows) out.push_back(values[r]);
-      return std::make_shared<DoubleColumn>(name, std::move(out));
+      HETDB_ASSIGN_OR_RETURN(out.dlo, ValueAsDouble(atom.value));
+      if (atom.op == CompareOp::kBetween) {
+        HETDB_ASSIGN_OR_RETURN(out.dhi, ValueAsDouble(atom.value2));
+      }
+      out.kind = CompiledAtom::Kind::kDoubleCmp;
+      out.f64 = static_cast<const DoubleColumn&>(*column).values().data();
+      return out;
     }
     case DataType::kString: {
-      const auto& str = static_cast<const StringColumn&>(source);
-      auto out = StringColumn::FromDictionary(name, str.dictionary());
-      out->Reserve(rows.size());
-      for (uint32_t r : rows) out->AppendCode(str.code(r));
+      const auto& str = static_cast<const StringColumn&>(*column);
+      if (!std::holds_alternative<std::string>(atom.value)) {
+        return Status::InvalidArgument("string column '" + atom.column +
+                                       "' compared with numeric constant");
+      }
+      const std::string& rhs = std::get<std::string>(atom.value);
+      out.codes = str.codes().data();
+      if (atom.op == CompareOp::kEq || atom.op == CompareOp::kNe) {
+        Result<int32_t> code = str.CodeFor(rhs);
+        if (!code.ok()) {
+          out.kind = atom.op == CompareOp::kNe ? CompiledAtom::Kind::kAllRows
+                                               : CompiledAtom::Kind::kNoRows;
+          return out;
+        }
+        out.clo = code.value();
+        out.kind = atom.op == CompareOp::kEq ? CompiledAtom::Kind::kCodeEq
+                                             : CompiledAtom::Kind::kCodeNe;
+        return out;
+      }
+      if (!str.order_preserving()) {
+        return Status::InvalidArgument(
+            "range predicate on non-order-preserving dictionary column '" +
+            atom.column + "'");
+      }
+      out.clo = 0;
+      out.chi = static_cast<int32_t>(str.dictionary().size());
+      switch (atom.op) {
+        case CompareOp::kLt:
+          out.chi = str.LowerBoundCode(rhs);
+          break;
+        case CompareOp::kLe:
+          out.chi = str.UpperBoundCode(rhs);
+          break;
+        case CompareOp::kGt:
+          out.clo = str.UpperBoundCode(rhs);
+          break;
+        case CompareOp::kGe:
+          out.clo = str.LowerBoundCode(rhs);
+          break;
+        case CompareOp::kBetween: {
+          if (!std::holds_alternative<std::string>(atom.value2)) {
+            return Status::InvalidArgument("between on string column '" +
+                                           atom.column +
+                                           "' needs string bounds");
+          }
+          out.clo = str.LowerBoundCode(rhs);
+          out.chi = str.UpperBoundCode(std::get<std::string>(atom.value2));
+          break;
+        }
+        default:
+          return Status::Internal("unhandled string compare op");
+      }
+      out.kind = CompiledAtom::Kind::kCodeRange;
       return out;
     }
   }
-  return nullptr;
+  return Status::Internal("unhandled column type");
 }
 
-/// Reads a numeric column value as double (fatal on string columns).
-double NumericAt(const Column& column, size_t row) {
-  switch (column.type()) {
-    case DataType::kInt32:
-      return static_cast<const Int32Column&>(column).value(row);
-    case DataType::kInt64:
-      return static_cast<double>(
-          static_cast<const Int64Column&>(column).value(row));
-    case DataType::kDouble:
-      return static_cast<const DoubleColumn&>(column).value(row);
-    case DataType::kString:
-      HETDB_LOG(Fatal) << "numeric access on string column " << column.name();
+/// Branch-free OR of a comparison over `len` contiguous values into `out`.
+/// `C` is the comparison domain (int64 for integer columns — the same
+/// promotion the scalar path applies — double for double columns).
+template <typename T, typename C>
+void OrCmpInto(const T* v, CompareOp op, C rhs, C rhs2, size_t len,
+               uint8_t* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      for (size_t i = 0; i < len; ++i)
+        out[i] |= static_cast<uint8_t>(static_cast<C>(v[i]) == rhs);
+      return;
+    case CompareOp::kNe:
+      for (size_t i = 0; i < len; ++i)
+        out[i] |= static_cast<uint8_t>(static_cast<C>(v[i]) != rhs);
+      return;
+    case CompareOp::kLt:
+      for (size_t i = 0; i < len; ++i)
+        out[i] |= static_cast<uint8_t>(static_cast<C>(v[i]) < rhs);
+      return;
+    case CompareOp::kLe:
+      for (size_t i = 0; i < len; ++i)
+        out[i] |= static_cast<uint8_t>(static_cast<C>(v[i]) <= rhs);
+      return;
+    case CompareOp::kGt:
+      for (size_t i = 0; i < len; ++i)
+        out[i] |= static_cast<uint8_t>(static_cast<C>(v[i]) > rhs);
+      return;
+    case CompareOp::kGe:
+      for (size_t i = 0; i < len; ++i)
+        out[i] |= static_cast<uint8_t>(static_cast<C>(v[i]) >= rhs);
+      return;
+    case CompareOp::kBetween:
+      for (size_t i = 0; i < len; ++i)
+        out[i] |= static_cast<uint8_t>((static_cast<C>(v[i]) >= rhs) &
+                                       (static_cast<C>(v[i]) <= rhs2));
+      return;
   }
-  return 0;
 }
 
-}  // namespace
+/// Ors `atom` over rows [begin, begin+len) into the morsel-local `out`.
+void OrAtomInto(const CompiledAtom& atom, size_t begin, size_t len,
+                uint8_t* out) {
+  switch (atom.kind) {
+    case CompiledAtom::Kind::kInt32Cmp:
+      OrCmpInto<int32_t, int64_t>(atom.i32 + begin, atom.op, atom.ilo,
+                                  atom.ihi, len, out);
+      return;
+    case CompiledAtom::Kind::kInt64Cmp:
+      OrCmpInto<int64_t, int64_t>(atom.i64 + begin, atom.op, atom.ilo,
+                                  atom.ihi, len, out);
+      return;
+    case CompiledAtom::Kind::kDoubleCmp:
+      OrCmpInto<double, double>(atom.f64 + begin, atom.op, atom.dlo, atom.dhi,
+                                len, out);
+      return;
+    case CompiledAtom::Kind::kCodeEq: {
+      const int32_t* codes = atom.codes + begin;
+      for (size_t i = 0; i < len; ++i)
+        out[i] |= static_cast<uint8_t>(codes[i] == atom.clo);
+      return;
+    }
+    case CompiledAtom::Kind::kCodeNe: {
+      const int32_t* codes = atom.codes + begin;
+      for (size_t i = 0; i < len; ++i)
+        out[i] |= static_cast<uint8_t>(codes[i] != atom.clo);
+      return;
+    }
+    case CompiledAtom::Kind::kCodeRange: {
+      const int32_t* codes = atom.codes + begin;
+      for (size_t i = 0; i < len; ++i)
+        out[i] |= static_cast<uint8_t>((codes[i] >= atom.clo) &
+                                       (codes[i] < atom.chi));
+      return;
+    }
+    case CompiledAtom::Kind::kAllRows:
+      std::fill(out, out + len, uint8_t{1});
+      return;
+    case CompiledAtom::Kind::kNoRows:
+      return;
+  }
+}
 
-Result<std::vector<uint32_t>> EvaluateFilter(const Table& input,
-                                             const ConjunctiveFilter& filter) {
+/// Scalar reference filter (row-at-a-time atoms over full columns).
+Result<std::vector<uint32_t>> EvaluateFilterScalar(
+    const Table& input, const ConjunctiveFilter& filter) {
   const size_t n = input.num_rows();
   std::vector<uint8_t> result(n, 1);
   std::vector<uint8_t> disjunct(n, 0);
@@ -255,70 +535,400 @@ Result<std::vector<uint32_t>> EvaluateFilter(const Table& input,
     }
     for (size_t i = 0; i < n; ++i) result[i] &= disjunct[i];
   }
+  size_t matches = 0;
+  for (size_t i = 0; i < n; ++i) matches += result[i];
   std::vector<uint32_t> rows;
+  rows.reserve(matches);
   for (size_t i = 0; i < n; ++i) {
     if (result[i]) rows.push_back(static_cast<uint32_t>(i));
   }
   return rows;
 }
 
-Result<TablePtr> GatherRows(const Table& input,
-                            const std::vector<uint32_t>& rows,
-                            const std::string& name) {
-  auto output = std::make_shared<Table>(name);
-  for (const ColumnPtr& column : input.columns()) {
-    ColumnPtr gathered = GatherColumn(*column, rows);
-    if (gathered == nullptr) return Status::Internal("gather failed");
-    HETDB_RETURN_NOT_OK(output->AddColumn(std::move(gathered)));
+/// Morsel-parallel filter. Phase A evaluates the whole CNF per morsel (the
+/// morsel's columns stay cache-resident across all conjuncts) into a shared
+/// keep-mask and counts survivors per morsel; after a serial prefix sum over
+/// those counts, phase B materializes indices with the branchless
+/// store-and-advance idiom into per-worker scratch, then block-copies each
+/// morsel's survivors to its exclusive output range. Output is ascending row
+/// ids — byte-identical to the scalar path.
+Result<std::vector<uint32_t>> EvaluateFilterParallel(
+    const Table& input, const ConjunctiveFilter& filter, KernelStats& stats) {
+  const size_t n = input.num_rows();
+  std::vector<std::vector<CompiledAtom>> conjuncts;
+  conjuncts.reserve(filter.conjuncts.size());
+  for (const Disjunction& disjunction : filter.conjuncts) {
+    std::vector<CompiledAtom> atoms;
+    atoms.reserve(disjunction.atoms.size());
+    for (const Predicate& atom : disjunction.atoms) {
+      HETDB_ASSIGN_OR_RETURN(CompiledAtom compiled, CompileAtom(input, atom));
+      atoms.push_back(compiled);
+    }
+    conjuncts.push_back(std::move(atoms));
   }
-  return output;
+
+  const size_t morsel = ConfigMorselRows();
+  const size_t num_morsels = n == 0 ? 0 : (n + morsel - 1) / morsel;
+  const int max_workers = MaxParallelWorkers(n, morsel);
+
+  std::vector<uint8_t> keep(n, 1);
+  std::vector<size_t> kept_in_morsel(num_morsels, 0);
+  std::vector<std::vector<uint8_t>> disjunct_scratch(max_workers);
+
+  const int workers = ParallelFor(
+      n, morsel, [&](size_t begin, size_t end, int worker) {
+        const size_t len = end - begin;
+        std::vector<uint8_t>& dis = disjunct_scratch[worker];
+        if (dis.size() < morsel) dis.resize(morsel);
+        uint8_t* keep_at = keep.data() + begin;
+        for (const std::vector<CompiledAtom>& atoms : conjuncts) {
+          std::fill(dis.begin(), dis.begin() + len, uint8_t{0});
+          for (const CompiledAtom& atom : atoms) {
+            OrAtomInto(atom, begin, len, dis.data());
+          }
+          for (size_t i = 0; i < len; ++i) keep_at[i] &= dis[i];
+        }
+        size_t kept = 0;
+        for (size_t i = 0; i < len; ++i) kept += keep_at[i];
+        kept_in_morsel[begin / morsel] = kept;
+      });
+  RecordLoop(stats, n, morsel, workers);
+
+  std::vector<size_t> offsets(num_morsels + 1, 0);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    offsets[m + 1] = offsets[m] + kept_in_morsel[m];
+  }
+
+  std::vector<uint32_t> rows(offsets[num_morsels]);
+  std::vector<std::vector<uint32_t>> index_scratch(max_workers);
+  ParallelFor(n, morsel, [&](size_t begin, size_t end, int worker) {
+    std::vector<uint32_t>& buf = index_scratch[worker];
+    if (buf.size() < morsel) buf.resize(morsel);
+    // Unconditional store, advance by the mask bit: no branch to mispredict.
+    // The over-store lands in private scratch, never in a neighbour morsel's
+    // output range, which is why the copy below is safe under concurrency.
+    size_t out = 0;
+    for (size_t i = begin; i < end; ++i) {
+      buf[out] = static_cast<uint32_t>(i);
+      out += keep[i];
+    }
+    if (out > 0) {
+      std::memcpy(rows.data() + offsets[begin / morsel], buf.data(),
+                  out * sizeof(uint32_t));
+    }
+  });
+  return rows;
 }
 
-Result<TablePtr> HashJoin(const Table& build, const std::string& build_key,
-                          const Table& probe, const std::string& probe_key,
-                          const JoinOutputSpec& output_spec,
-                          const std::string& name) {
-  HETDB_ASSIGN_OR_RETURN(ColumnPtr build_key_col, build.GetColumn(build_key));
-  HETDB_ASSIGN_OR_RETURN(ColumnPtr probe_key_col, probe.GetColumn(probe_key));
-  if (build_key_col->type() != DataType::kInt32 &&
-      build_key_col->type() != DataType::kInt64) {
-    return Status::InvalidArgument("join key '" + build_key +
-                                   "' must be integer");
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+struct JoinMatches {
+  std::vector<uint32_t> build_rows;
+  std::vector<uint32_t> probe_rows;
+};
+
+/// Concatenates per-morsel match buffers in morsel (= probe row) order.
+JoinMatches ConcatMorselMatches(
+    const std::vector<std::vector<uint32_t>>& morsel_build,
+    const std::vector<std::vector<uint32_t>>& morsel_probe) {
+  const size_t morsels = morsel_build.size();
+  std::vector<size_t> match_off(morsels + 1, 0);
+  for (size_t m = 0; m < morsels; ++m) {
+    match_off[m + 1] = match_off[m] + morsel_build[m].size();
+  }
+  JoinMatches matches;
+  matches.build_rows.resize(match_off[morsels]);
+  matches.probe_rows.resize(match_off[morsels]);
+  ParallelFor(morsels, 1, [&](size_t begin, size_t end, int) {
+    for (size_t m = begin; m < end; ++m) {
+      if (morsel_build[m].empty()) continue;
+      std::memcpy(matches.build_rows.data() + match_off[m],
+                  morsel_build[m].data(),
+                  morsel_build[m].size() * sizeof(uint32_t));
+      std::memcpy(matches.probe_rows.data() + match_off[m],
+                  morsel_probe[m].data(),
+                  morsel_probe[m].size() * sizeof(uint32_t));
+    }
+  });
+  return matches;
+}
+
+/// Fast path for dense integer build keys (every SSB/TPC-H dimension key):
+/// a direct-address table over [min, max] replaces hashing entirely — the
+/// probe loop is a bounds check plus one L1/L2 load. `heads[k]` holds the
+/// first build row with key `min + k`; duplicate rows chain through `next`
+/// in ascending order, replaying the scalar match order.
+template <typename TB, typename TP>
+JoinMatches DirectJoinMatches(const TB* build_keys, size_t build_rows,
+                              uint64_t min_key, uint64_t range,
+                              const TP* probe_keys, size_t probe_rows,
+                              KernelStats& stats) {
+  std::vector<uint32_t> heads(range + 1, kNoEntry);
+  std::vector<uint32_t> tails(range + 1, kNoEntry);
+  std::vector<uint32_t> next(build_rows, kNoEntry);
+  // Build serially: the build side is the small (dimension) input, and the
+  // serial loop keeps duplicate chains in ascending-row order for free.
+  for (size_t i = 0; i < build_rows; ++i) {
+    const uint64_t k =
+        static_cast<uint64_t>(static_cast<int64_t>(build_keys[i])) - min_key;
+    if (heads[k] == kNoEntry) {
+      heads[k] = static_cast<uint32_t>(i);
+    } else {
+      next[tails[k]] = static_cast<uint32_t>(i);
+    }
+    tails[k] = static_cast<uint32_t>(i);
   }
 
-  // Build phase. Dimension keys are usually unique, but duplicates are
-  // supported via the overflow vector.
-  const size_t build_rows = build.num_rows();
+  const size_t morsel = ConfigMorselRows();
+  const size_t probe_morsels =
+      probe_rows == 0 ? 0 : (probe_rows + morsel - 1) / morsel;
+  std::vector<std::vector<uint32_t>> morsel_build(probe_morsels);
+  std::vector<std::vector<uint32_t>> morsel_probe(probe_morsels);
+  const int workers = ParallelFor(
+      probe_rows, morsel, [&](size_t begin, size_t end, int) {
+        std::vector<uint32_t>& bmatch = morsel_build[begin / morsel];
+        std::vector<uint32_t>& pmatch = morsel_probe[begin / morsel];
+        bmatch.reserve(end - begin);
+        pmatch.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          const uint64_t k =
+              static_cast<uint64_t>(static_cast<int64_t>(probe_keys[i])) -
+              min_key;
+          if (k > range) continue;  // also catches keys below min (wraps)
+          for (uint32_t e = heads[k]; e != kNoEntry; e = next[e]) {
+            bmatch.push_back(e);
+            pmatch.push_back(static_cast<uint32_t>(i));
+          }
+        }
+      });
+  RecordLoop(stats, probe_rows, morsel, workers);
+  return ConcatMorselMatches(morsel_build, morsel_probe);
+}
+
+/// Cache-conscious parallel equi-join over integer keys.
+///
+/// Build side: a stable two-pass radix partitioning by hash prefix (morsel
+/// histograms -> serial offsets -> morsel scatter) yields per-partition entry
+/// arrays ordered by ascending build row; each partition then gets a private
+/// open-addressing linear-probe table sized 2x its entries, small enough to
+/// stay cache-resident while it is built and probed. Duplicate keys chain
+/// through `next` links in ascending-row order.
+///
+/// Probe side: morsels look up their keys and append matches to per-morsel
+/// buffers, which a prefix sum concatenates in probe-row order — the exact
+/// (probe ascending, build ascending within key) order of the scalar path.
+template <typename TB, typename TP>
+JoinMatches PartitionedJoinMatches(const TB* build_keys, size_t build_rows,
+                                   const TP* probe_keys, size_t probe_rows,
+                                   KernelStats& stats) {
+  const size_t morsel = ConfigMorselRows();
+  constexpr size_t kMaxParts = 64;
+
+  size_t parts = 1;
+  while (parts < kMaxParts && parts * morsel < build_rows) parts <<= 1;
+  const int part_bits = std::countr_zero(parts);
+  auto part_of = [part_bits](uint64_t hash) -> size_t {
+    return part_bits == 0 ? 0 : static_cast<size_t>(hash >> (64 - part_bits));
+  };
+
+  // Phase 1: per-(morsel, partition) histograms of build keys.
+  const size_t build_morsels =
+      build_rows == 0 ? 0 : (build_rows + morsel - 1) / morsel;
+  std::vector<uint32_t> hist(build_morsels * parts, 0);
+  int workers = ParallelFor(
+      build_rows, morsel, [&](size_t begin, size_t end, int) {
+        uint32_t* h = hist.data() + (begin / morsel) * parts;
+        for (size_t i = begin; i < end; ++i) {
+          const auto key = static_cast<int64_t>(build_keys[i]);
+          ++h[part_of(MixHash(static_cast<uint64_t>(key)))];
+        }
+      });
+  RecordLoop(stats, build_rows, morsel, workers);
+
+  // Serial pass: partition-major offsets. Iterating morsels in order within
+  // each partition keeps the scatter stable (ascending build row).
+  std::vector<size_t> scatter_pos(build_morsels * parts);
+  std::vector<size_t> part_begin(parts + 1, 0);
+  size_t run = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    part_begin[p] = run;
+    for (size_t m = 0; m < build_morsels; ++m) {
+      scatter_pos[m * parts + p] = run;
+      run += hist[m * parts + p];
+    }
+  }
+  part_begin[parts] = run;
+
+  // Phase 2: stable scatter into partition-contiguous entry storage.
+  struct JoinEntry {
+    int64_t key;
+    uint32_t row;
+  };
+  std::vector<JoinEntry> entries(build_rows);
+  ParallelFor(build_rows, morsel, [&](size_t begin, size_t end, int) {
+    size_t cursor[kMaxParts];
+    std::copy_n(scatter_pos.data() + (begin / morsel) * parts, parts, cursor);
+    for (size_t i = begin; i < end; ++i) {
+      const auto key = static_cast<int64_t>(build_keys[i]);
+      const size_t p = part_of(MixHash(static_cast<uint64_t>(key)));
+      entries[cursor[p]++] = {key, static_cast<uint32_t>(i)};
+    }
+  });
+
+  // Phase 3: one open-addressing table per partition (linear probing,
+  // `head == kNoEntry` marks an empty slot). Partitions build in parallel;
+  // within a partition, entries insert in ascending-row order so duplicate
+  // chains replay the scalar backend's first-match-then-overflow order.
+  struct Slot {
+    int64_t key;
+    uint32_t head;
+    uint32_t tail;
+  };
+  std::vector<size_t> table_off(parts + 1, 0);
+  std::vector<size_t> table_mask(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    const size_t count = part_begin[p + 1] - part_begin[p];
+    const size_t size = std::bit_ceil(std::max<size_t>(2, 2 * count));
+    table_mask[p] = size - 1;
+    table_off[p + 1] = table_off[p] + size;
+  }
+  std::vector<Slot> slots(table_off[parts], Slot{0, kNoEntry, 0});
+  std::vector<uint32_t> next(build_rows, kNoEntry);
+  ParallelFor(parts, 1, [&](size_t begin, size_t end, int) {
+    for (size_t p = begin; p < end; ++p) {
+      Slot* table = slots.data() + table_off[p];
+      const size_t mask = table_mask[p];
+      for (size_t e = part_begin[p]; e < part_begin[p + 1]; ++e) {
+        const JoinEntry& entry = entries[e];
+        size_t idx = MixHash(static_cast<uint64_t>(entry.key)) & mask;
+        while (true) {
+          Slot& slot = table[idx];
+          if (slot.head == kNoEntry) {
+            slot = {entry.key, static_cast<uint32_t>(e),
+                    static_cast<uint32_t>(e)};
+            break;
+          }
+          if (slot.key == entry.key) {
+            next[slot.tail] = static_cast<uint32_t>(e);
+            slot.tail = static_cast<uint32_t>(e);
+            break;
+          }
+          idx = (idx + 1) & mask;
+        }
+      }
+    }
+  });
+
+  // Phase 4: probe morsels into per-morsel match buffers.
+  const size_t probe_morsels =
+      probe_rows == 0 ? 0 : (probe_rows + morsel - 1) / morsel;
+  std::vector<std::vector<uint32_t>> morsel_build(probe_morsels);
+  std::vector<std::vector<uint32_t>> morsel_probe(probe_morsels);
+  workers = ParallelFor(
+      probe_rows, morsel, [&](size_t begin, size_t end, int) {
+        std::vector<uint32_t>& bmatch = morsel_build[begin / morsel];
+        std::vector<uint32_t>& pmatch = morsel_probe[begin / morsel];
+        // ~1 match per probe row (PK-FK); reserving that keeps the append
+        // loop realloc-free.
+        bmatch.reserve(end - begin);
+        pmatch.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          const auto key = static_cast<int64_t>(probe_keys[i]);
+          const uint64_t hash = MixHash(static_cast<uint64_t>(key));
+          const size_t p = part_of(hash);
+          const Slot* table = slots.data() + table_off[p];
+          const size_t mask = table_mask[p];
+          size_t idx = hash & mask;
+          while (true) {
+            const Slot& slot = table[idx];
+            if (slot.head == kNoEntry) break;
+            if (slot.key == key) {
+              for (uint32_t e = slot.head; e != kNoEntry; e = next[e]) {
+                bmatch.push_back(entries[e].row);
+                pmatch.push_back(static_cast<uint32_t>(i));
+              }
+              break;
+            }
+            idx = (idx + 1) & mask;
+          }
+        }
+      });
+  RecordLoop(stats, probe_rows, morsel, workers);
+
+  // Phase 5: concatenate per-morsel buffers in morsel (= probe row) order.
+  return ConcatMorselMatches(morsel_build, morsel_probe);
+}
+
+/// Parallel join entry point: prescans the build keys and routes dense key
+/// domains (range at most 8x the build cardinality — every generated SSB /
+/// TPC-H dimension key) to the direct-address table, everything else to the
+/// partitioned hash join.
+template <typename TB, typename TP>
+JoinMatches ParallelJoinMatches(const TB* build_keys, size_t build_rows,
+                                const TP* probe_keys, size_t probe_rows,
+                                KernelStats& stats) {
+  if (build_rows > 0) {
+    int64_t min_key = static_cast<int64_t>(build_keys[0]);
+    int64_t max_key = min_key;
+    for (size_t i = 1; i < build_rows; ++i) {
+      const auto key = static_cast<int64_t>(build_keys[i]);
+      min_key = std::min(min_key, key);
+      max_key = std::max(max_key, key);
+    }
+    const uint64_t range =
+        static_cast<uint64_t>(max_key) - static_cast<uint64_t>(min_key);
+    const uint64_t dense_limit =
+        std::max<uint64_t>(8192, 8 * static_cast<uint64_t>(build_rows));
+    if (range < dense_limit) {
+      return DirectJoinMatches(build_keys, build_rows,
+                               static_cast<uint64_t>(min_key), range,
+                               probe_keys, probe_rows, stats);
+    }
+  }
+  return PartitionedJoinMatches(build_keys, build_rows, probe_keys, probe_rows,
+                                stats);
+}
+
+/// Scalar reference join: first-match map plus overflow vectors.
+JoinMatches ScalarJoinMatches(const Column& build_key_col, size_t build_rows,
+                              const Column& probe_key_col, size_t probe_rows) {
   std::unordered_map<int64_t, uint32_t> first_match;
   std::unordered_map<int64_t, std::vector<uint32_t>> overflow;
   first_match.reserve(build_rows * 2);
   for (size_t i = 0; i < build_rows; ++i) {
-    const int64_t key = IntKeyAt(*build_key_col, i);
-    auto [it, inserted] =
-        first_match.emplace(key, static_cast<uint32_t>(i));
+    const int64_t key = IntKeyAt(build_key_col, i);
+    auto [it, inserted] = first_match.emplace(key, static_cast<uint32_t>(i));
     if (!inserted) overflow[key].push_back(static_cast<uint32_t>(i));
   }
 
-  // Probe phase: collect matching row pairs.
-  const size_t probe_rows = probe.num_rows();
-  std::vector<uint32_t> build_matches;
-  std::vector<uint32_t> probe_matches;
+  JoinMatches matches;
+  // A PK-FK probe emits about one match per probe row; reserving that guess
+  // removes nearly all reallocation from the probe loop.
+  matches.build_rows.reserve(probe_rows);
+  matches.probe_rows.reserve(probe_rows);
   for (size_t i = 0; i < probe_rows; ++i) {
-    const int64_t key = IntKeyAt(*probe_key_col, i);
+    const int64_t key = IntKeyAt(probe_key_col, i);
     auto it = first_match.find(key);
     if (it == first_match.end()) continue;
-    build_matches.push_back(it->second);
-    probe_matches.push_back(static_cast<uint32_t>(i));
+    matches.build_rows.push_back(it->second);
+    matches.probe_rows.push_back(static_cast<uint32_t>(i));
     auto ov = overflow.find(key);
     if (ov != overflow.end()) {
       for (uint32_t extra : ov->second) {
-        build_matches.push_back(extra);
-        probe_matches.push_back(static_cast<uint32_t>(i));
+        matches.build_rows.push_back(extra);
+        matches.probe_rows.push_back(static_cast<uint32_t>(i));
       }
     }
   }
+  return matches;
+}
 
-  // Materialize requested output columns.
+Result<TablePtr> MaterializeJoinOutput(const Table& build, const Table& probe,
+                                       const JoinOutputSpec& output_spec,
+                                       const JoinMatches& matches,
+                                       const std::string& name) {
   if (!output_spec.build_aliases.empty() &&
       output_spec.build_aliases.size() != output_spec.build_columns.size()) {
     return Status::InvalidArgument("build_aliases size mismatch");
@@ -335,7 +945,7 @@ Result<TablePtr> HashJoin(const Table& build, const std::string& build_key,
                                    ? output_spec.build_columns[i]
                                    : output_spec.build_aliases[i];
     HETDB_RETURN_NOT_OK(
-        output->AddColumn(GatherColumn(*column, build_matches, alias)));
+        output->AddColumn(GatherColumn(*column, matches.build_rows, alias)));
   }
   for (size_t i = 0; i < output_spec.probe_columns.size(); ++i) {
     HETDB_ASSIGN_OR_RETURN(ColumnPtr column,
@@ -344,31 +954,206 @@ Result<TablePtr> HashJoin(const Table& build, const std::string& build_key,
                                    ? output_spec.probe_columns[i]
                                    : output_spec.probe_aliases[i];
     HETDB_RETURN_NOT_OK(
-        output->AddColumn(GatherColumn(*column, probe_matches, alias)));
+        output->AddColumn(GatherColumn(*column, matches.probe_rows, alias)));
   }
   return output;
 }
 
-Result<TablePtr> Aggregate(const Table& input,
-                           const std::vector<std::string>& group_by,
-                           const std::vector<AggregateSpec>& aggregates,
-                           const std::string& name) {
-  const size_t n = input.num_rows();
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
 
-  std::vector<ColumnPtr> group_cols;
+/// One aggregate input lowered to a typed pointer.
+struct AggInput {
+  enum class Kind { kCountStar, kInt32, kInt64, kDouble };
+  Kind kind = Kind::kCountStar;
+  const int32_t* i32 = nullptr;
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+};
+
+AggInput ClassifyAggInput(const ColumnPtr& column, size_t num_rows) {
+  AggInput input;
+  if (column == nullptr) return input;  // COUNT(*)
+  switch (column->type()) {
+    case DataType::kInt32:
+      input.kind = AggInput::Kind::kInt32;
+      input.i32 = static_cast<const Int32Column&>(*column).values().data();
+      return input;
+    case DataType::kInt64:
+      input.kind = AggInput::Kind::kInt64;
+      input.i64 = static_cast<const Int64Column&>(*column).values().data();
+      return input;
+    case DataType::kDouble:
+      input.kind = AggInput::Kind::kDouble;
+      input.f64 = static_cast<const DoubleColumn&>(*column).values().data();
+      return input;
+    case DataType::kString:
+      if (num_rows > 0) {
+        HETDB_LOG(Fatal) << "numeric access on string column "
+                         << column->name();
+      }
+      input.kind = AggInput::Kind::kDouble;
+      return input;
+  }
+  return input;
+}
+
+/// Typed accumulator shared by both backends. Integer inputs accumulate in
+/// int64 (exact, order-insensitive); double inputs accumulate in double, so
+/// the result depends only on the per-group row order — which both backends
+/// fix as ascending input row.
+struct Acc {
+  int64_t isum = 0;
+  double dsum = 0;
+  int64_t count = 0;
+  int64_t imin = std::numeric_limits<int64_t>::max();
+  int64_t imax = std::numeric_limits<int64_t>::min();
+  double dmin = std::numeric_limits<double>::infinity();
+  double dmax = -std::numeric_limits<double>::infinity();
+};
+
+inline void UpdateAcc(const AggInput& input, size_t row, Acc& acc) {
+  switch (input.kind) {
+    case AggInput::Kind::kCountStar:
+      ++acc.count;
+      return;
+    case AggInput::Kind::kInt32: {
+      const int64_t v = input.i32[row];
+      acc.isum += v;
+      ++acc.count;
+      acc.imin = std::min(acc.imin, v);
+      acc.imax = std::max(acc.imax, v);
+      return;
+    }
+    case AggInput::Kind::kInt64: {
+      const int64_t v = input.i64[row];
+      acc.isum += v;
+      ++acc.count;
+      acc.imin = std::min(acc.imin, v);
+      acc.imax = std::max(acc.imax, v);
+      return;
+    }
+    case AggInput::Kind::kDouble: {
+      const double v = input.f64[row];
+      acc.dsum += v;
+      ++acc.count;
+      acc.dmin = std::min(acc.dmin, v);
+      acc.dmax = std::max(acc.dmax, v);
+      return;
+    }
+  }
+}
+
+/// Converts accumulators to output columns; shared so both backends apply
+/// the identical typing rules (COUNT and integer SUM/MIN/MAX stay int64,
+/// AVG and double inputs produce doubles).
+Status AppendAggregateColumns(const std::vector<AggregateSpec>& aggregates,
+                              const std::vector<AggInput>& inputs,
+                              const std::vector<std::vector<Acc>>& accs,
+                              size_t num_groups, Table* output) {
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    const AggregateSpec& spec = aggregates[a];
+    const AggInput& in = inputs[a];
+    const auto& acc = accs[a];
+    const bool integer_input = in.kind == AggInput::Kind::kInt32 ||
+                               in.kind == AggInput::Kind::kInt64;
+    const bool integer_output =
+        spec.fn == AggregateFn::kCount ||
+        (integer_input && spec.fn != AggregateFn::kAvg);
+    if (integer_output) {
+      std::vector<int64_t> values(num_groups);
+      for (size_t g = 0; g < num_groups; ++g) {
+        switch (spec.fn) {
+          case AggregateFn::kSum:
+            values[g] = acc[g].isum;
+            break;
+          case AggregateFn::kCount:
+            values[g] = acc[g].count;
+            break;
+          case AggregateFn::kMin:
+            values[g] = acc[g].count > 0 ? acc[g].imin : 0;
+            break;
+          case AggregateFn::kMax:
+            values[g] = acc[g].count > 0 ? acc[g].imax : 0;
+            break;
+          case AggregateFn::kAvg:
+            values[g] = 0;  // unreachable: AVG is never integer_output
+            break;
+        }
+      }
+      HETDB_RETURN_NOT_OK(output->AddColumn(
+          std::make_shared<Int64Column>(spec.output_name, std::move(values))));
+    } else {
+      std::vector<double> values(num_groups);
+      for (size_t g = 0; g < num_groups; ++g) {
+        if (integer_input) {  // only AVG reaches here
+          values[g] = acc[g].count > 0
+                          ? static_cast<double>(acc[g].isum) /
+                                static_cast<double>(acc[g].count)
+                          : 0;
+          continue;
+        }
+        switch (spec.fn) {
+          case AggregateFn::kSum:
+            values[g] = acc[g].dsum;
+            break;
+          case AggregateFn::kCount:
+            values[g] = static_cast<double>(acc[g].count);  // unreachable
+            break;
+          case AggregateFn::kMin:
+            values[g] = acc[g].count > 0 ? acc[g].dmin : 0;
+            break;
+          case AggregateFn::kMax:
+            values[g] = acc[g].count > 0 ? acc[g].dmax : 0;
+            break;
+          case AggregateFn::kAvg:
+            values[g] = acc[g].count > 0
+                            ? acc[g].dsum / static_cast<double>(acc[g].count)
+                            : 0;
+            break;
+        }
+      }
+      HETDB_RETURN_NOT_OK(output->AddColumn(std::make_shared<DoubleColumn>(
+          spec.output_name, std::move(values))));
+    }
+  }
+  return Status::OK();
+}
+
+Status ResolveAggregateColumns(const Table& input,
+                               const std::vector<std::string>& group_by,
+                               const std::vector<AggregateSpec>& aggregates,
+                               std::vector<ColumnPtr>* group_cols,
+                               std::vector<ColumnPtr>* agg_inputs) {
   for (const std::string& col_name : group_by) {
     HETDB_ASSIGN_OR_RETURN(ColumnPtr column, input.GetColumn(col_name));
-    group_cols.push_back(std::move(column));
+    group_cols->push_back(std::move(column));
   }
-  std::vector<ColumnPtr> agg_inputs;
   for (const AggregateSpec& spec : aggregates) {
     if (spec.fn == AggregateFn::kCount && spec.input_column.empty()) {
-      agg_inputs.push_back(nullptr);  // COUNT(*)
+      agg_inputs->push_back(nullptr);  // COUNT(*)
       continue;
     }
-    HETDB_ASSIGN_OR_RETURN(ColumnPtr column, input.GetColumn(spec.input_column));
-    agg_inputs.push_back(std::move(column));
+    HETDB_ASSIGN_OR_RETURN(ColumnPtr column,
+                           input.GetColumn(spec.input_column));
+    agg_inputs->push_back(std::move(column));
   }
+  return Status::OK();
+}
+
+/// Scalar reference aggregation: byte-string group keys, one single pass
+/// over the input updating every aggregate's accumulator per row (instead of
+/// the former one-full-scan-per-aggregate loop).
+Result<TablePtr> AggregateScalar(const Table& input,
+                                 const std::vector<std::string>& group_by,
+                                 const std::vector<AggregateSpec>& aggregates,
+                                 const std::string& name) {
+  const size_t n = input.num_rows();
+  std::vector<ColumnPtr> group_cols;
+  std::vector<ColumnPtr> agg_inputs;
+  HETDB_RETURN_NOT_OK(ResolveAggregateColumns(input, group_by, aggregates,
+                                              &group_cols, &agg_inputs));
 
   // Encode the composite group key as raw bytes.
   std::unordered_map<std::string, uint32_t> groups;
@@ -393,78 +1178,400 @@ Result<TablePtr> Aggregate(const Table& input,
   }
   const size_t num_groups = representative_row.size();
 
-  // Accumulate.
-  struct Accumulator {
-    double sum = 0;
-    int64_t count = 0;
-    double min = std::numeric_limits<double>::infinity();
-    double max = -std::numeric_limits<double>::infinity();
-  };
-  std::vector<std::vector<Accumulator>> accs(
-      aggregates.size(), std::vector<Accumulator>(num_groups));
-  for (size_t a = 0; a < aggregates.size(); ++a) {
-    const ColumnPtr& column = agg_inputs[a];
-    auto& acc = accs[a];
-    if (column == nullptr) {  // COUNT(*)
-      for (size_t i = 0; i < n; ++i) ++acc[group_of_row[i]].count;
-      continue;
-    }
-    for (size_t i = 0; i < n; ++i) {
-      const double v = NumericAt(*column, i);
-      Accumulator& slot = acc[group_of_row[i]];
-      slot.sum += v;
-      ++slot.count;
-      slot.min = std::min(slot.min, v);
-      slot.max = std::max(slot.max, v);
+  std::vector<AggInput> inputs;
+  inputs.reserve(agg_inputs.size());
+  for (const ColumnPtr& column : agg_inputs) {
+    inputs.push_back(ClassifyAggInput(column, n));
+  }
+  std::vector<std::vector<Acc>> accs(aggregates.size(),
+                                     std::vector<Acc>(num_groups));
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t g = group_of_row[i];
+    for (size_t a = 0; a < inputs.size(); ++a) {
+      UpdateAcc(inputs[a], i, accs[a][g]);
     }
   }
 
-  // Materialize output: group columns then aggregate columns.
   auto output = std::make_shared<Table>(name);
   for (const ColumnPtr& column : group_cols) {
     HETDB_RETURN_NOT_OK(
         output->AddColumn(GatherColumn(*column, representative_row)));
   }
-  for (size_t a = 0; a < aggregates.size(); ++a) {
-    const AggregateSpec& spec = aggregates[a];
-    const ColumnPtr& in = agg_inputs[a];
-    const bool integer_input =
-        in != nullptr && (in->type() == DataType::kInt32 ||
-                          in->type() == DataType::kInt64);
-    const auto& acc = accs[a];
-    auto value_of = [&](size_t g) -> double {
-      switch (spec.fn) {
-        case AggregateFn::kSum:
-          return acc[g].sum;
-        case AggregateFn::kCount:
-          return static_cast<double>(acc[g].count);
-        case AggregateFn::kMin:
-          return acc[g].count > 0 ? acc[g].min : 0;
-        case AggregateFn::kMax:
-          return acc[g].count > 0 ? acc[g].max : 0;
-        case AggregateFn::kAvg:
-          return acc[g].count > 0 ? acc[g].sum / acc[g].count : 0;
+  HETDB_RETURN_NOT_OK(AppendAggregateColumns(aggregates, inputs, accs,
+                                             num_groups, output.get()));
+  return output;
+}
+
+/// One group-by column lowered to a typed pointer for key packing.
+struct KeyCol {
+  enum class Kind { kInt32, kInt64, kCodes };
+  Kind kind = Kind::kInt32;
+  const int32_t* i32 = nullptr;
+  const int64_t* i64 = nullptr;
+  const int32_t* codes = nullptr;
+
+  int64_t At(size_t row) const {
+    switch (kind) {
+      case Kind::kInt32:
+        return i32[row];
+      case Kind::kInt64:
+        return i64[row];
+      case Kind::kCodes:
+        return codes[row];
+    }
+    return 0;
+  }
+};
+
+/// Worker-local open-addressing group table over packed 64-bit keys.
+struct LocalGroups {
+  std::vector<uint64_t> slot_keys;
+  std::vector<uint32_t> slot_gids;  // kNoEntry = empty slot
+  std::vector<uint64_t> keys;       // local gid -> packed key
+  std::vector<uint32_t> min_rows;   // local gid -> smallest row seen here
+  std::vector<uint64_t> counts;     // local gid -> rows seen here
+
+  void Init() {
+    slot_keys.assign(1024, 0);
+    slot_gids.assign(1024, kNoEntry);
+  }
+
+  uint32_t Add(uint64_t key, uint32_t row) {
+    if ((keys.size() + 1) * 2 > slot_gids.size()) Grow();
+    const size_t mask = slot_gids.size() - 1;
+    size_t idx = MixHash(key) & mask;
+    while (true) {
+      const uint32_t gid = slot_gids[idx];
+      if (gid == kNoEntry) {
+        const auto fresh = static_cast<uint32_t>(keys.size());
+        slot_keys[idx] = key;
+        slot_gids[idx] = fresh;
+        keys.push_back(key);
+        min_rows.push_back(row);
+        counts.push_back(1);
+        return fresh;
       }
-      return 0;
-    };
-    const bool integer_output =
-        spec.fn == AggregateFn::kCount ||
-        (integer_input && spec.fn != AggregateFn::kAvg);
-    if (integer_output) {
-      std::vector<int64_t> values(num_groups);
-      for (size_t g = 0; g < num_groups; ++g) {
-        values[g] = static_cast<int64_t>(std::llround(value_of(g)));
+      if (slot_keys[idx] == key) {
+        min_rows[gid] = std::min(min_rows[gid], row);
+        ++counts[gid];
+        return gid;
       }
-      HETDB_RETURN_NOT_OK(output->AddColumn(
-          std::make_shared<Int64Column>(spec.output_name, std::move(values))));
-    } else {
-      std::vector<double> values(num_groups);
-      for (size_t g = 0; g < num_groups; ++g) values[g] = value_of(g);
-      HETDB_RETURN_NOT_OK(output->AddColumn(
-          std::make_shared<DoubleColumn>(spec.output_name, std::move(values))));
+      idx = (idx + 1) & mask;
     }
   }
+
+  void Grow() {
+    const size_t new_size = slot_gids.size() * 2;
+    std::vector<uint64_t> old_keys = std::move(slot_keys);
+    std::vector<uint32_t> old_gids = std::move(slot_gids);
+    slot_keys.assign(new_size, 0);
+    slot_gids.assign(new_size, kNoEntry);
+    const size_t mask = new_size - 1;
+    for (size_t i = 0; i < old_gids.size(); ++i) {
+      if (old_gids[i] == kNoEntry) continue;
+      size_t idx = MixHash(old_keys[i]) & mask;
+      while (slot_gids[idx] != kNoEntry) idx = (idx + 1) & mask;
+      slot_keys[idx] = old_keys[i];
+      slot_gids[idx] = old_gids[i];
+    }
+  }
+};
+
+/// Morsel-parallel aggregation over packed 64-bit group keys.
+///
+/// A parallel min/max prescan sizes each key column's bit field; if the
+/// composite key does not fit in 64 bits the kernel falls back to the scalar
+/// backend (identical results either way). Phase 1 builds worker-local group
+/// tables (thread-local preaggregation: no shared-table contention) and tags
+/// every row with its local gid. A serial merge orders the global groups by
+/// their smallest input row — exactly the scalar backend's first-seen order —
+/// and remaps (worker, local gid) to global ranks. A serial stable scatter
+/// then groups row ids, and phase 2 accumulates each group's rows in
+/// ascending order (the scalar FP operation order) in parallel over groups.
+Result<TablePtr> AggregateParallel(const Table& input,
+                                   const std::vector<std::string>& group_by,
+                                   const std::vector<AggregateSpec>& aggregates,
+                                   const std::string& name,
+                                   KernelStats& stats) {
+  const size_t n = input.num_rows();
+  std::vector<ColumnPtr> group_cols;
+  std::vector<ColumnPtr> agg_inputs;
+  HETDB_RETURN_NOT_OK(ResolveAggregateColumns(input, group_by, aggregates,
+                                              &group_cols, &agg_inputs));
+
+  const size_t num_keys = group_cols.size();
+  std::vector<KeyCol> key_cols(num_keys);
+  for (size_t c = 0; c < num_keys; ++c) {
+    const Column& column = *group_cols[c];
+    switch (column.type()) {
+      case DataType::kInt32:
+        key_cols[c].kind = KeyCol::Kind::kInt32;
+        key_cols[c].i32 =
+            static_cast<const Int32Column&>(column).values().data();
+        break;
+      case DataType::kInt64:
+        key_cols[c].kind = KeyCol::Kind::kInt64;
+        key_cols[c].i64 =
+            static_cast<const Int64Column&>(column).values().data();
+        break;
+      case DataType::kString:
+        key_cols[c].kind = KeyCol::Kind::kCodes;
+        key_cols[c].codes =
+            static_cast<const StringColumn&>(column).codes().data();
+        break;
+      case DataType::kDouble:
+        // Same programming error the scalar backend traps in IntKeyAt.
+        HETDB_LOG(Fatal) << "group-by on double column " << column.name();
+    }
+  }
+
+  const size_t morsel = ConfigMorselRows();
+  const size_t num_morsels = (n + morsel - 1) / morsel;
+  const int max_workers = MaxParallelWorkers(n, morsel);
+
+  // Prescan: per-column min/max (per worker, then reduced) for bit packing.
+  std::vector<int64_t> wmin(static_cast<size_t>(max_workers) * num_keys,
+                            std::numeric_limits<int64_t>::max());
+  std::vector<int64_t> wmax(static_cast<size_t>(max_workers) * num_keys,
+                            std::numeric_limits<int64_t>::min());
+  ParallelFor(n, morsel, [&](size_t begin, size_t end, int worker) {
+    int64_t* mins = wmin.data() + static_cast<size_t>(worker) * num_keys;
+    int64_t* maxs = wmax.data() + static_cast<size_t>(worker) * num_keys;
+    for (size_t c = 0; c < num_keys; ++c) {
+      const KeyCol& key_col = key_cols[c];
+      int64_t lo = mins[c], hi = maxs[c];
+      for (size_t i = begin; i < end; ++i) {
+        const int64_t v = key_col.At(i);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      mins[c] = lo;
+      maxs[c] = hi;
+    }
+  });
+  std::vector<int64_t> cmin(num_keys, std::numeric_limits<int64_t>::max());
+  std::vector<int64_t> cmax(num_keys, std::numeric_limits<int64_t>::min());
+  for (int w = 0; w < max_workers; ++w) {
+    for (size_t c = 0; c < num_keys; ++c) {
+      cmin[c] = std::min(cmin[c], wmin[static_cast<size_t>(w) * num_keys + c]);
+      cmax[c] = std::max(cmax[c], wmax[static_cast<size_t>(w) * num_keys + c]);
+    }
+  }
+
+  std::vector<int> bits(num_keys, 0);
+  int total_bits = 0;
+  for (size_t c = 0; c < num_keys; ++c) {
+    const uint64_t range = static_cast<uint64_t>(cmax[c]) -
+                           static_cast<uint64_t>(cmin[c]);
+    bits[c] = std::bit_width(range);
+    total_bits += bits[c];
+  }
+  if (total_bits > 64) {
+    // Composite key too wide to pack: the scalar byte-string path handles it.
+    return AggregateScalar(input, group_by, aggregates, name);
+  }
+
+  auto pack = [&](size_t row) -> uint64_t {
+    uint64_t key = 0;
+    for (size_t c = 0; c < num_keys; ++c) {
+      if (bits[c] == 0) continue;  // constant column adds no information
+      const uint64_t enc = static_cast<uint64_t>(key_cols[c].At(row)) -
+                           static_cast<uint64_t>(cmin[c]);
+      // bits[c] == 64 implies this is the only contributing column; the
+      // guarded form avoids the undefined 64-bit shift.
+      key = bits[c] == 64 ? enc : ((key << bits[c]) | enc);
+    }
+    return key;
+  };
+
+  // Phase 1: worker-local preaggregation tables; rows keep their local gid.
+  std::vector<LocalGroups> locals(max_workers);
+  std::vector<uint32_t> local_gid_of_row(n);
+  std::vector<int> morsel_worker(num_morsels, 0);
+  const int workers = ParallelFor(
+      n, morsel, [&](size_t begin, size_t end, int worker) {
+        LocalGroups& local = locals[worker];
+        if (local.slot_gids.empty()) local.Init();
+        morsel_worker[begin / morsel] = worker;
+        for (size_t i = begin; i < end; ++i) {
+          local_gid_of_row[i] =
+              local.Add(pack(i), static_cast<uint32_t>(i));
+        }
+      });
+  RecordLoop(stats, n, morsel, workers);
+
+  // Serial merge: unify worker tables, order groups by smallest input row
+  // (= the scalar backend's first-seen order), remap local gids to ranks.
+  std::unordered_map<uint64_t, uint32_t> merged_id;
+  std::vector<uint32_t> merged_min;
+  std::vector<uint64_t> merged_count;
+  std::vector<std::vector<uint32_t>> remap(max_workers);
+  for (int w = 0; w < max_workers; ++w) {
+    const LocalGroups& local = locals[w];
+    remap[w].resize(local.keys.size());
+    for (size_t l = 0; l < local.keys.size(); ++l) {
+      auto [it, inserted] = merged_id.emplace(
+          local.keys[l], static_cast<uint32_t>(merged_min.size()));
+      if (inserted) {
+        merged_min.push_back(local.min_rows[l]);
+        merged_count.push_back(local.counts[l]);
+      } else {
+        merged_min[it->second] =
+            std::min(merged_min[it->second], local.min_rows[l]);
+        merged_count[it->second] += local.counts[l];
+      }
+      remap[w][l] = it->second;
+    }
+  }
+  const size_t num_groups = merged_min.size();
+  std::vector<uint32_t> order(num_groups);
+  std::iota(order.begin(), order.end(), 0u);
+  // Each group's min row is distinct, so the order is total.
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return merged_min[a] < merged_min[b];
+  });
+  std::vector<uint32_t> rank(num_groups);
+  for (size_t r = 0; r < num_groups; ++r) rank[order[r]] = r;
+  for (int w = 0; w < max_workers; ++w) {
+    for (uint32_t& id : remap[w]) id = rank[id];
+  }
+
+  std::vector<uint32_t> representative_row(num_groups);
+  std::vector<size_t> group_off(num_groups + 1, 0);
+  for (size_t r = 0; r < num_groups; ++r) {
+    representative_row[r] = merged_min[order[r]];
+    group_off[r + 1] = group_off[r] + merged_count[order[r]];
+  }
+
+  // Serial stable scatter: rows grouped, ascending within each group. Kept
+  // serial on purpose — a parallel version needs per-(morsel, group)
+  // histograms, which degenerate when every row is its own group.
+  std::vector<uint32_t> rows_by_group(n);
+  std::vector<size_t> cursor(group_off.begin(), group_off.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t g = remap[morsel_worker[i / morsel]][local_gid_of_row[i]];
+    rows_by_group[cursor[g]++] = static_cast<uint32_t>(i);
+  }
+
+  // Phase 2: accumulate, parallel over groups; each group replays its rows
+  // in ascending order so double sums match the scalar backend bit-for-bit.
+  std::vector<AggInput> inputs;
+  inputs.reserve(agg_inputs.size());
+  for (const ColumnPtr& column : agg_inputs) {
+    inputs.push_back(ClassifyAggInput(column, n));
+  }
+  std::vector<std::vector<Acc>> accs(aggregates.size(),
+                                     std::vector<Acc>(num_groups));
+  constexpr size_t kGroupMorsel = 64;
+  ParallelFor(num_groups, kGroupMorsel,
+              [&](size_t gbegin, size_t gend, int) {
+                for (size_t g = gbegin; g < gend; ++g) {
+                  for (size_t r = group_off[g]; r < group_off[g + 1]; ++r) {
+                    const size_t row = rows_by_group[r];
+                    for (size_t a = 0; a < inputs.size(); ++a) {
+                      UpdateAcc(inputs[a], row, accs[a][g]);
+                    }
+                  }
+                }
+              });
+
+  auto output = std::make_shared<Table>(name);
+  for (const ColumnPtr& column : group_cols) {
+    HETDB_RETURN_NOT_OK(
+        output->AddColumn(GatherColumn(*column, representative_row)));
+  }
+  HETDB_RETURN_NOT_OK(AppendAggregateColumns(aggregates, inputs, accs,
+                                             num_groups, output.get()));
   return output;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public kernels
+// ---------------------------------------------------------------------------
+
+Result<std::vector<uint32_t>> EvaluateFilter(const Table& input,
+                                             const ConjunctiveFilter& filter) {
+  static KernelStats stats("filter");
+  KernelTimer timer(stats);
+  if (UseParallelBackend()) {
+    return EvaluateFilterParallel(input, filter, stats);
+  }
+  return EvaluateFilterScalar(input, filter);
+}
+
+Result<TablePtr> GatherRows(const Table& input,
+                            const std::vector<uint32_t>& rows,
+                            const std::string& name) {
+  auto output = std::make_shared<Table>(name);
+  for (const ColumnPtr& column : input.columns()) {
+    ColumnPtr gathered = GatherColumn(*column, rows);
+    if (gathered == nullptr) return Status::Internal("gather failed");
+    HETDB_RETURN_NOT_OK(output->AddColumn(std::move(gathered)));
+  }
+  return output;
+}
+
+Result<TablePtr> HashJoin(const Table& build, const std::string& build_key,
+                          const Table& probe, const std::string& probe_key,
+                          const JoinOutputSpec& output_spec,
+                          const std::string& name) {
+  static KernelStats stats("hash_join");
+  KernelTimer timer(stats);
+
+  HETDB_ASSIGN_OR_RETURN(ColumnPtr build_key_col, build.GetColumn(build_key));
+  HETDB_ASSIGN_OR_RETURN(ColumnPtr probe_key_col, probe.GetColumn(probe_key));
+  if (build_key_col->type() != DataType::kInt32 &&
+      build_key_col->type() != DataType::kInt64) {
+    return Status::InvalidArgument("join key '" + build_key +
+                                   "' must be integer");
+  }
+
+  const size_t build_rows = build.num_rows();
+  const size_t probe_rows = probe.num_rows();
+  JoinMatches matches;
+  if (UseParallelBackend()) {
+    // Probe keys face the same integer requirement the scalar path enforces
+    // (fatally) in IntKeyAt.
+    HETDB_CHECK(probe_key_col->type() == DataType::kInt32 ||
+                probe_key_col->type() == DataType::kInt64);
+    auto dispatch = [&](const auto& build_values, const auto& probe_values) {
+      matches = ParallelJoinMatches(build_values.data(), build_rows,
+                                       probe_values.data(), probe_rows, stats);
+    };
+    if (build_key_col->type() == DataType::kInt32) {
+      const auto& bv = static_cast<const Int32Column&>(*build_key_col).values();
+      if (probe_key_col->type() == DataType::kInt32) {
+        dispatch(bv, static_cast<const Int32Column&>(*probe_key_col).values());
+      } else {
+        dispatch(bv, static_cast<const Int64Column&>(*probe_key_col).values());
+      }
+    } else {
+      const auto& bv = static_cast<const Int64Column&>(*build_key_col).values();
+      if (probe_key_col->type() == DataType::kInt32) {
+        dispatch(bv, static_cast<const Int32Column&>(*probe_key_col).values());
+      } else {
+        dispatch(bv, static_cast<const Int64Column&>(*probe_key_col).values());
+      }
+    }
+  } else {
+    matches = ScalarJoinMatches(*build_key_col, build_rows, *probe_key_col,
+                                probe_rows);
+  }
+  return MaterializeJoinOutput(build, probe, output_spec, matches, name);
+}
+
+Result<TablePtr> Aggregate(const Table& input,
+                           const std::vector<std::string>& group_by,
+                           const std::vector<AggregateSpec>& aggregates,
+                           const std::string& name) {
+  static KernelStats stats("aggregate");
+  KernelTimer timer(stats);
+  if (UseParallelBackend() && input.num_rows() > 0) {
+    return AggregateParallel(input, group_by, aggregates, name, stats);
+  }
+  return AggregateScalar(input, group_by, aggregates, name);
 }
 
 Result<TablePtr> Sort(const Table& input, const std::vector<SortKey>& keys,

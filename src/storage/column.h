@@ -179,19 +179,43 @@ class StringColumn : public Column {
 
 using StringColumnPtr = std::shared_ptr<StringColumn>;
 
+/// Static DataType tag of each concrete column class, used by ColumnCast to
+/// avoid RTTI on kernel hot paths.
+template <typename ColumnT>
+struct ColumnTypeTag;
+template <>
+struct ColumnTypeTag<Int32Column> {
+  static constexpr DataType kType = DataType::kInt32;
+};
+template <>
+struct ColumnTypeTag<Int64Column> {
+  static constexpr DataType kType = DataType::kInt64;
+};
+template <>
+struct ColumnTypeTag<DoubleColumn> {
+  static constexpr DataType kType = DataType::kDouble;
+};
+template <>
+struct ColumnTypeTag<StringColumn> {
+  static constexpr DataType kType = DataType::kString;
+};
+
 /// Downcast helper with a fatal check on type mismatch (programming error).
+///
+/// The class hierarchy is closed (exactly one concrete column class per
+/// DataType), so a type-tag compare plus static_cast replaces dynamic_cast:
+/// this sits at the entry of every per-column kernel loop, where the RTTI
+/// walk was measurable.
 template <typename ColumnT>
 const ColumnT& ColumnCast(const Column& column) {
-  const auto* typed = dynamic_cast<const ColumnT*>(&column);
-  HETDB_CHECK(typed != nullptr);
-  return *typed;
+  HETDB_CHECK(column.type() == ColumnTypeTag<ColumnT>::kType);
+  return static_cast<const ColumnT&>(column);
 }
 
 template <typename ColumnT>
 ColumnT& ColumnCast(Column& column) {
-  auto* typed = dynamic_cast<ColumnT*>(&column);
-  HETDB_CHECK(typed != nullptr);
-  return *typed;
+  HETDB_CHECK(column.type() == ColumnTypeTag<ColumnT>::kType);
+  return static_cast<ColumnT&>(column);
 }
 
 }  // namespace hetdb

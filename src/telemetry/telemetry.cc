@@ -16,4 +16,9 @@ uint64_t Telemetry::NextQueryId() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+MetricRegistry& GlobalKernelMetrics() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
 }  // namespace hetdb

@@ -75,6 +75,15 @@ class Telemetry {
   Counter* queries_completed_;
 };
 
+/// Process-global registry for the compute kernels' own metrics
+/// (`kernel.<name>.latency_us` histograms, `kernel.<name>.morsels` /
+/// `.invocations` counters, `kernel.<name>.dop` histograms). The kernels are
+/// context-free — every executor and placement strategy shares them — so,
+/// like the trace recorder, their instrumentation cannot live on a
+/// per-EngineContext registry. Never destroyed (kernels may run during
+/// static teardown of benchmarks).
+MetricRegistry& GlobalKernelMetrics();
+
 }  // namespace hetdb
 
 #endif  // HETDB_TELEMETRY_TELEMETRY_H_
