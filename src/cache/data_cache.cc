@@ -58,9 +58,16 @@ std::optional<DataCache::Lease> DataCache::TryGet(const std::string& key) {
   std::unique_lock<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end() || it->second.pending_evict) return std::nullopt;
+  // Wait for a concurrent loader to finish the transfer. The entry vanishes
+  // if that load's transfer faults, so re-find the key each wake instead of
+  // holding a reference across the wait.
+  load_cv_.wait(lock, [this, &key] {
+    auto current = entries_.find(key);
+    return current == entries_.end() || current->second.ready;
+  });
+  it = entries_.find(key);
+  if (it == entries_.end() || it->second.pending_evict) return std::nullopt;
   Entry& entry = it->second;
-  // Wait for a concurrent loader to finish the transfer.
-  load_cv_.wait(lock, [&entry] { return entry.ready; });
   ++entry.ref_count;
   entry.last_access = ++access_clock_;
   ++entry.access_count;
@@ -71,74 +78,116 @@ std::optional<DataCache::Lease> DataCache::TryGet(const std::string& key) {
 DataCache::Access DataCache::RequireOnDevice(const ColumnPtr& column,
                                              const std::string& key) {
   const size_t bytes = EntryBytes(*column);
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    auto it = entries_.find(key);
-    if (it != entries_.end() && !it->second.pending_evict) {
-      Entry& entry = it->second;
-      // A wait on a concurrent loader still counts as a hit: the data
-      // crosses the bus once, not once per waiter.
-      load_cv_.wait(lock, [&entry] { return entry.ready; });
-      ++entry.ref_count;
-      entry.last_access = ++access_clock_;
-      ++entry.access_count;
-      ++stats_.hits;
-      Access access;
-      access.hit = true;
-      access.resident = true;
-      access.lease = Lease(this, key);
-      return access;
-    }
-    ++stats_.misses;
-    if (bytes <= capacity_bytes_ && EvictUntilFits(bytes)) {
-      // Reserve the entry in "loading" state, transfer outside the lock.
-      Entry entry;
-      entry.column = column;
-      entry.bytes = bytes;
-      entry.ready = false;
-      entry.ref_count = 1;
-      entry.last_access = ++access_clock_;
-      entry.access_count = 1;
-      entries_[key] = std::move(entry);
-      used_bytes_ += bytes;
-      ++stats_.insertions;
-    } else {
-      // Transient: cannot be made resident; caller pays the transfer and
-      // must keep the bytes in device heap for the operator's lifetime.
-      lock.unlock();
-      TraceSpan transient_span;
-      if (TraceRecorder::enabled()) {
-        transient_span.Begin(key, "cache");
-        transient_span.AddArg("action", "transient");
-        transient_span.AddArg("bytes", static_cast<int64_t>(bytes));
+  // Loop: a waiter whose concurrent loader faulted (entry vanished) retries
+  // the access as a fresh miss instead of dangling on the erased entry.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end() && !it->second.pending_evict) {
+        // A wait on a concurrent loader still counts as a hit: the data
+        // crosses the bus once, not once per waiter. The entry vanishes if
+        // that load faults, so re-find the key instead of holding a
+        // reference across the wait.
+        load_cv_.wait(lock, [this, &key] {
+          auto current = entries_.find(key);
+          return current == entries_.end() || current->second.ready;
+        });
+        it = entries_.find(key);
+        if (it == entries_.end()) continue;  // loader faulted: retry as miss
+        if (!it->second.pending_evict) {
+          Entry& entry = it->second;
+          ++entry.ref_count;
+          entry.last_access = ++access_clock_;
+          ++entry.access_count;
+          ++stats_.hits;
+          Access access;
+          access.hit = true;
+          access.resident = true;
+          access.lease = Lease(this, key);
+          return access;
+        }
+        // Marked for eviction while we waited: treat as a miss below.
       }
-      simulator_->bus().Transfer(bytes, TransferDirection::kHostToDevice);
+      ++stats_.misses;
+      if (bytes <= capacity_bytes_ && EvictUntilFits(bytes)) {
+        // Reserve the entry in "loading" state, transfer outside the lock.
+        Entry entry;
+        entry.column = column;
+        entry.bytes = bytes;
+        entry.ready = false;
+        entry.ref_count = 1;
+        entry.last_access = ++access_clock_;
+        entry.access_count = 1;
+        entries_[key] = std::move(entry);
+        used_bytes_ += bytes;
+        ++stats_.insertions;
+      } else {
+        // Transient: cannot be made resident; caller pays the transfer and
+        // must keep the bytes in device heap for the operator's lifetime.
+        lock.unlock();
+        TraceSpan transient_span;
+        if (TraceRecorder::enabled()) {
+          transient_span.Begin(key, "cache");
+          transient_span.AddArg("action", "transient");
+          transient_span.AddArg("bytes", static_cast<int64_t>(bytes));
+        }
+        Status transfer_status =
+            simulator_->bus().Transfer(bytes, TransferDirection::kHostToDevice);
+        Access access;
+        access.hit = false;
+        access.resident = false;
+        if (!transfer_status.ok()) {
+          std::lock_guard<std::mutex> stats_lock(mutex_);
+          ++stats_.load_failures;
+          access.status = std::move(transfer_status);
+        }
+        return access;
+      }
+    }
+    // Perform the modeled PCIe transfer without holding the cache latch.
+    TraceSpan admit_span;
+    if (TraceRecorder::enabled()) {
+      admit_span.Begin(key, "cache");
+      admit_span.AddArg("action", "admit");
+      admit_span.AddArg("bytes", static_cast<int64_t>(bytes));
+    }
+    Status transfer_status =
+        simulator_->bus().Transfer(bytes, TransferDirection::kHostToDevice);
+    if (!transfer_status.ok()) {
+      AbandonLoad(key);
       Access access;
       access.hit = false;
       access.resident = false;
+      access.status = std::move(transfer_status);
       return access;
     }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      HETDB_CHECK(it != entries_.end());
+      it->second.ready = true;
+    }
+    load_cv_.notify_all();
+    Access access;
+    access.hit = false;
+    access.resident = true;
+    access.lease = Lease(this, key);
+    return access;
   }
-  // Perform the modeled PCIe transfer without holding the cache latch.
-  TraceSpan admit_span;
-  if (TraceRecorder::enabled()) {
-    admit_span.Begin(key, "cache");
-    admit_span.AddArg("action", "admit");
-    admit_span.AddArg("bytes", static_cast<int64_t>(bytes));
-  }
-  simulator_->bus().Transfer(bytes, TransferDirection::kHostToDevice);
+}
+
+void DataCache::AbandonLoad(const std::string& key) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.load_failures;
     auto it = entries_.find(key);
-    HETDB_CHECK(it != entries_.end());
-    it->second.ready = true;
+    if (it != entries_.end() && !it->second.ready) {
+      used_bytes_ -= it->second.bytes;
+      entries_.erase(it);
+    }
   }
   load_cv_.notify_all();
-  Access access;
-  access.hit = false;
-  access.resident = true;
-  access.lease = Lease(this, key);
-  return access;
 }
 
 bool DataCache::EvictUntilFits(size_t bytes) {
@@ -278,8 +327,13 @@ void DataCache::RunPlacementJob(
   // Transfers outside the latch; queries seeing "loading" entries wait on
   // the per-entry latch, everything else proceeds.
   for (const auto& [key, column] : to_load) {
-    simulator_->bus().Transfer(EntryBytes(*column),
-                               TransferDirection::kHostToDevice);
+    Status transfer_status = simulator_->bus().Transfer(
+        EntryBytes(*column), TransferDirection::kHostToDevice);
+    if (!transfer_status.ok()) {
+      // The column stays host-only this round; the next job run retries.
+      AbandonLoad(key);
+      continue;
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = entries_.find(key);
@@ -314,7 +368,12 @@ Status DataCache::Pin(const ColumnPtr& column, const std::string& key) {
     used_bytes_ += bytes;
     ++stats_.insertions;
   }
-  simulator_->bus().Transfer(bytes, TransferDirection::kHostToDevice);
+  Status transfer_status =
+      simulator_->bus().Transfer(bytes, TransferDirection::kHostToDevice);
+  if (!transfer_status.ok()) {
+    AbandonLoad(key);
+    return transfer_status;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key);

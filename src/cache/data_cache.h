@@ -31,6 +31,8 @@ struct DataCacheStats {
   uint64_t insertions = 0;
   uint64_t evictions = 0;
   uint64_t placement_job_runs = 0;
+  /// Loads abandoned because the PCIe transfer faulted (entry rolled back).
+  uint64_t load_failures = 0;
 };
 
 /// The co-processor's column data cache and data placement manager.
@@ -93,6 +95,10 @@ class DataCache {
     bool hit = false;       ///< column was already device-resident
     bool resident = false;  ///< column is device-resident after the call
     Lease lease;            ///< valid iff resident
+    /// Non-OK when the load transfer faulted: the column is neither cached
+    /// nor transferred, and the caller must abort the operator with this
+    /// status (classification decides between device retry and CPU).
+    Status status;
   };
 
   /// True iff `key` is cached and ready (data-driven placement test).
@@ -151,6 +157,10 @@ class DataCache {
   };
 
   void ReleaseLease(const std::string& key);
+  /// Rolls back a reserved-but-unloaded entry after its transfer faulted and
+  /// wakes waiters (who re-find the key and treat the vanished entry as a
+  /// miss). Takes mutex_.
+  void AbandonLoad(const std::string& key);
   /// Evicts unleased, unpinned, ready entries per policy until `bytes` fit.
   /// Returns true on success. Caller holds mutex_.
   bool EvictUntilFits(size_t bytes);

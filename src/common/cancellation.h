@@ -1,0 +1,46 @@
+#ifndef HETDB_COMMON_CANCELLATION_H_
+#define HETDB_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+namespace hetdb {
+
+/// Cooperative cancellation handle shared between a query's submitter and the
+/// executor running it. Copies observe the same underlying flag; a
+/// default-constructed token is inert (never cancelled, RequestCancel is a
+/// no-op), so APIs can take a token by value without forcing every caller to
+/// allocate one.
+///
+/// Cancellation is a *request*: the executor checks the token at scheduling
+/// and run-time boundaries and fails the query with Status::Cancelled; an
+/// operator already inside a kernel finishes (and its result is dropped).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Makes a live token whose copies share one cancellation flag.
+  static CancelToken Create() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  void RequestCancel() {
+    if (flag_ != nullptr) flag_->store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+  /// False for the inert default-constructed token.
+  bool cancellable() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_COMMON_CANCELLATION_H_

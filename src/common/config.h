@@ -66,6 +66,21 @@ struct SystemConfig {
   /// the pageable-staging penalty (Section 2.5.3).
   double pcie_sync_efficiency = 0.6;
 
+  // --- Fault tolerance -----------------------------------------------------
+  /// Device retries granted to an operator whose device attempt failed with
+  /// a *transient* fault (Unavailable) before it falls back to the CPU.
+  /// Persistent faults (ResourceExhausted, DeviceLost) never retry on the
+  /// device — heap contention does not resolve by retrying (Section 2.5.1)
+  /// and a lost device will not come back for this operator.
+  int device_retry_limit = 2;
+  /// Modeled backoff charged before device retry k (exponential:
+  /// 2^k * this many microseconds).
+  double device_retry_backoff_micros = 50.0;
+  /// Retries granted to a result copy-back transfer that failed transiently
+  /// (D2H copies have no CPU fallback — the authoritative bytes are on the
+  /// device — so the only recovery is retrying the wire).
+  int transfer_retry_limit = 2;
+
   // --- Simulation control --------------------------------------------------
   /// If false, the simulator performs all bookkeeping (allocations, byte
   /// counters, abort behaviour) but does not sleep for modeled durations.

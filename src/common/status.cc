@@ -20,6 +20,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeviceLost:
+      return "DeviceLost";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

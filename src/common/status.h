@@ -17,6 +17,14 @@ namespace hetdb {
 /// and the only code the execution engine treats as a recoverable operator
 /// abort (the operator is restarted on the CPU, per Section 2.5.1 of the
 /// paper). All other codes propagate as query failures.
+/// `kUnavailable` marks a *transient* device fault (kernel hiccup, transfer
+/// error): the engine retries the operator on the device with bounded
+/// exponential backoff before falling back to the CPU. `kDeviceLost` marks a
+/// *persistent* device fault (whole-device-offline episode): retrying on the
+/// device is pointless, the engine falls back immediately and the device
+/// circuit breaker counts it towards tripping. `kCancelled` is the clean
+/// verdict for queries whose deadline expired, whose cancel token fired, or
+/// that were in flight when their executor shut down.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -26,6 +34,9 @@ enum class StatusCode {
   kInternal,
   kNotImplemented,
   kAborted,
+  kUnavailable,
+  kDeviceLost,
+  kCancelled,
 };
 
 /// Returns a human-readable name for `code` (e.g. "ResourceExhausted").
@@ -70,6 +81,15 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeviceLost(std::string msg) {
+    return Status(StatusCode::kDeviceLost, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +98,23 @@ class Status {
   /// True iff this status is the recoverable device out-of-memory signal.
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// True iff this status is a transient device fault (retry may succeed).
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// True iff the device is persistently gone (retrying on it is pointless).
+  bool IsDeviceLost() const { return code_ == StatusCode::kDeviceLost; }
+
+  /// True iff the query was cancelled (token, deadline, or shutdown).
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+
+  /// True for any status the engine treats as a device-side operator abort
+  /// (recoverable by restarting the operator, possibly on the CPU): heap
+  /// exhaustion, transient faults, and device loss. Everything else is a
+  /// genuine query error and propagates.
+  bool IsDeviceAbort() const {
+    return IsResourceExhausted() || IsUnavailable() || IsDeviceLost();
   }
 
   /// Renders "OK" or "<Code>: <message>".

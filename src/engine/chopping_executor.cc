@@ -1,5 +1,6 @@
 #include "engine/chopping_executor.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -22,21 +23,59 @@ ChoppingExecutor::ChoppingExecutor(EngineContext* ctx, int cpu_workers,
 }
 
 ChoppingExecutor::~ChoppingExecutor() {
+  // Drain the ready queues under the same lock that flips shutting_down_, so
+  // no worker can pick up a drained task and no ScheduleTask can enqueue
+  // after the drain (it drops + fails instead). This closes the shutdown
+  // race where a worker exits while a sibling is about to schedule the
+  // parent — previously a stranded promise (broken_promise at .get()).
+  std::vector<std::pair<QueryExecPtr, OpTask*>> dropped;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutting_down_ = true;
+    for (auto& queue : ready_queues_) {
+      for (auto& entry : queue) dropped.push_back(std::move(entry));
+      queue.clear();
+    }
   }
   ready_cv_.notify_all();
+  const Status shutdown = Status::Cancelled("chopping executor shut down");
+  for (auto& [query, task] : dropped) {
+    ctx_->load_tracker().RemovePending(task->assigned,
+                                       task->load_estimate_micros);
+    FailQuery(query, shutdown);
+    ReleaseTaskInputs(task);
+  }
   for (std::thread& worker : workers_) worker.join();
+  // Workers are gone; settle any promise an in-flight path did not reach.
+  for (const auto& weak : live_queries_) {
+    if (QueryExecPtr query = weak.lock()) FailQuery(query, shutdown);
+  }
 }
 
 std::future<Result<TablePtr>> ChoppingExecutor::Submit(PlanNodePtr root,
-                                                       RuntimePlacer placer) {
+                                                       RuntimePlacer placer,
+                                                       QueryControls controls) {
   auto query = std::make_shared<QueryExec>();
   query->root = std::move(root);
   query->placer = std::move(placer);
+  query->controls = std::move(controls);
   query->query_id = Telemetry::NextQueryId();
   std::future<Result<TablePtr>> future = query->promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_queries_.erase(
+        std::remove_if(live_queries_.begin(), live_queries_.end(),
+                       [](const std::weak_ptr<QueryExec>& weak) {
+                         return weak.expired();
+                       }),
+        live_queries_.end());
+    live_queries_.push_back(query);
+    if (shutting_down_) {
+      FailQuery(query, Status::Cancelled("chopping executor shut down"));
+      return future;
+    }
+  }
 
   // Build the task graph (one task per operator).
   struct Builder {
@@ -67,11 +106,38 @@ std::future<Result<TablePtr>> ChoppingExecutor::Submit(PlanNodePtr root,
 }
 
 Result<TablePtr> ChoppingExecutor::ExecuteQuery(PlanNodePtr root,
-                                                RuntimePlacer placer) {
-  return Submit(std::move(root), std::move(placer)).get();
+                                                RuntimePlacer placer,
+                                                QueryControls controls) {
+  return Submit(std::move(root), std::move(placer), std::move(controls)).get();
+}
+
+Status ChoppingExecutor::CheckRunnable(const QueryExecPtr& query) {
+  if (!query->failed.load(std::memory_order_acquire)) {
+    if (query->controls.cancel.cancelled()) {
+      FailQuery(query, Status::Cancelled("query cancelled by client"));
+    } else if (query->controls.has_deadline() &&
+               std::chrono::steady_clock::now() >= query->controls.deadline) {
+      FailQuery(query, Status::Cancelled("query deadline exceeded"));
+    }
+  }
+  if (query->failed.load(std::memory_order_acquire)) {
+    return Status::Cancelled("query failed or cancelled");
+  }
+  return Status::OK();
+}
+
+void ChoppingExecutor::ReleaseTaskInputs(OpTask* task) {
+  for (OpTask* child : task->children) child->result = OperatorResult();
 }
 
 void ChoppingExecutor::ScheduleTask(const QueryExecPtr& query, OpTask* task) {
+  if (!CheckRunnable(query).ok()) {
+    // This task is its children's sole consumer; free their device-held
+    // results now instead of when the QueryExec is destroyed.
+    ReleaseTaskInputs(task);
+    return;
+  }
+
   std::vector<OperatorResult*> inputs;
   inputs.reserve(task->children.size());
   for (OpTask* child : task->children) inputs.push_back(&child->result);
@@ -99,15 +165,27 @@ void ChoppingExecutor::ScheduleTask(const QueryExecPtr& query, OpTask* task) {
           std::to_string(static_cast<int64_t>(task->load_estimate_micros))}});
   }
 
+  bool dropped = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    // LIFO ready queues: an operator whose children just completed runs
-    // before leaves of queries that have not started yet. This drains
-    // queries depth-first, so the device heap holds the intermediate
-    // results of only ~pool-size queries at a time instead of one
-    // unconsumed result per admitted query — the memory bound that makes
-    // the chopping pool an effective cure for heap contention.
-    ready_queues_[static_cast<int>(kind)].emplace_front(query, task);
+    if (shutting_down_) {
+      // Workers may already be gone; enqueueing would strand the promise.
+      dropped = true;
+    } else {
+      // LIFO ready queues: an operator whose children just completed runs
+      // before leaves of queries that have not started yet. This drains
+      // queries depth-first, so the device heap holds the intermediate
+      // results of only ~pool-size queries at a time instead of one
+      // unconsumed result per admitted query — the memory bound that makes
+      // the chopping pool an effective cure for heap contention.
+      ready_queues_[static_cast<int>(kind)].emplace_front(query, task);
+    }
+  }
+  if (dropped) {
+    ctx_->load_tracker().RemovePending(kind, task->load_estimate_micros);
+    FailQuery(query, Status::Cancelled("chopping executor shut down"));
+    ReleaseTaskInputs(task);
+    return;
   }
   ready_cv_.notify_all();
 }
@@ -134,8 +212,12 @@ void ChoppingExecutor::WorkerLoop(ProcessorKind kind) {
 void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
                                ProcessorKind kind) {
   ctx_->load_tracker().RemovePending(kind, task->load_estimate_micros);
-  if (query->failed.load(std::memory_order_acquire)) {
-    return;  // sibling already failed the query; drop silently
+  if (!CheckRunnable(query).ok()) {
+    // Sibling already failed the query, or it was cancelled / timed out
+    // between scheduling and pickup: drop the task, releasing the inputs it
+    // would have consumed (device allocations, cache pins) promptly.
+    ReleaseTaskInputs(task);
+    return;
   }
 
   std::vector<OperatorResult*> inputs;
@@ -162,6 +244,7 @@ void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
   if (!executed.ok()) {
     if (span.active()) span.AddArg("error", executed.status().ToString());
     FailQuery(query, executed.status());
+    ReleaseTaskInputs(task);
     return;
   }
   if (span.active()) {
@@ -172,15 +255,26 @@ void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
   task->result = std::move(executed).value().result;
 
   // Free the inputs we just consumed (device allocations, cache pins).
-  for (OpTask* child : task->children) child->result = OperatorResult();
+  ReleaseTaskInputs(task);
 
   if (task->parent == nullptr) {
     // Root finished: deliver the result on the host.
     if (task->result.location == ProcessorKind::kGpu &&
         !task->result.base_data) {
-      ctx_->simulator().bus().Transfer(task->result.table_bytes(),
-                                       TransferDirection::kDeviceToHost);
+      Status copy_back = TransferWithRetry(
+          task->result.table_bytes(), TransferDirection::kDeviceToHost, *ctx_);
+      if (!copy_back.ok()) {
+        task->result = OperatorResult();
+        FailQuery(query, copy_back);
+        return;
+      }
       task->result.ReleaseDeviceResources();
+    }
+    if (query->done.exchange(true, std::memory_order_acq_rel)) {
+      // Lost the race against a concurrent FailQuery (cancel during the
+      // copy-back): the promise is settled; just drop the device residency.
+      task->result = OperatorResult();
+      return;
     }
     ctx_->metrics().RecordQueryDone();
     query->promise.set_value(task->result.table);
@@ -197,9 +291,8 @@ void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
 
 void ChoppingExecutor::FailQuery(const QueryExecPtr& query,
                                  const Status& status) {
-  bool expected = false;
-  if (query->failed.compare_exchange_strong(expected, true,
-                                            std::memory_order_acq_rel)) {
+  query->failed.store(true, std::memory_order_release);
+  if (!query->done.exchange(true, std::memory_order_acq_rel)) {
     query->promise.set_value(status);
   }
 }

@@ -2,6 +2,7 @@
 #define HETDB_ENGINE_CHOPPING_EXECUTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -11,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "engine/engine_context.h"
 #include "engine/operator_executor.h"
 #include "operators/plan_node.h"
@@ -24,6 +26,21 @@ using RuntimePlacer = std::function<ProcessorKind(
     const PlanNode& node, const std::vector<OperatorResult*>& inputs,
     EngineContext& ctx)>;
 
+/// Per-query lifecycle controls: a cancel token the client may fire at any
+/// time and an optional absolute deadline. Both are checked when an operator
+/// is scheduled and again when a worker picks it up; a query that trips
+/// either fails promptly with Cancelled and releases its device-held
+/// intermediates.
+struct QueryControls {
+  CancelToken cancel;
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+};
+
 /// The paper's *query chopping* executor (Section 5.2).
 ///
 /// Queries are chopped into their operators: leaf operators enter the global
@@ -35,10 +52,19 @@ using RuntimePlacer = std::function<ProcessorKind(
 /// knob that prevents heap contention. Plain run-time placement without
 /// concurrency limiting (Section 4) is this executor with a large GPU pool.
 ///
-/// Operators that abort on the device (ResourceExhausted) are restarted on
-/// the CPU by the worker immediately, and — because placement happens at run
-/// time — their successors will see a host-resident input and naturally stay
-/// on the CPU (Figure 8, right side).
+/// Operators that abort on the device are restarted on the CPU by the worker
+/// immediately (transient faults get a bounded device retry first, see
+/// ExecuteWithFallback), and — because placement happens at run time — their
+/// successors will see a host-resident input and naturally stay on the CPU
+/// (Figure 8, right side).
+///
+/// Lifecycle guarantees:
+///  * every future returned by Submit resolves — with the query's result, a
+///    clean error, or Cancelled — never std::future_error/broken_promise;
+///  * a failed/cancelled query's device-held intermediates are released as
+///    its remaining tasks drain, not deferred to executor teardown;
+///  * the destructor fails all pending and in-flight queries with Cancelled
+///    and joins every worker.
 class ChoppingExecutor {
  public:
   ChoppingExecutor(EngineContext* ctx, int cpu_workers, int gpu_workers);
@@ -48,10 +74,12 @@ class ChoppingExecutor {
   ChoppingExecutor& operator=(const ChoppingExecutor&) = delete;
 
   /// Chops the query and inserts its leaves into the operator stream.
-  std::future<Result<TablePtr>> Submit(PlanNodePtr root, RuntimePlacer placer);
+  std::future<Result<TablePtr>> Submit(PlanNodePtr root, RuntimePlacer placer,
+                                       QueryControls controls = {});
 
   /// Submit and wait.
-  Result<TablePtr> ExecuteQuery(PlanNodePtr root, RuntimePlacer placer);
+  Result<TablePtr> ExecuteQuery(PlanNodePtr root, RuntimePlacer placer,
+                                QueryControls controls = {});
 
   int cpu_workers() const { return cpu_workers_; }
   int gpu_workers() const { return gpu_workers_; }
@@ -74,13 +102,23 @@ class ChoppingExecutor {
   struct QueryExec {
     PlanNodePtr root;
     RuntimePlacer placer;
+    QueryControls controls;
     std::promise<Result<TablePtr>> promise;
     std::vector<std::unique_ptr<OpTask>> tasks;
     std::atomic<bool> failed{false};
+    /// Guards the promise: exactly one of {root success, FailQuery} wins.
+    std::atomic<bool> done{false};
     uint64_t query_id = 0;  ///< stamps this query's trace spans
   };
 
   using QueryExecPtr = std::shared_ptr<QueryExec>;
+
+  /// Non-OK when the query must stop: already failed, cancelled, or past
+  /// its deadline (fails the query as a side effect in the latter cases).
+  Status CheckRunnable(const QueryExecPtr& query);
+  /// Releases the child results `task` would have consumed — it is their
+  /// sole consumer, and it will never run.
+  static void ReleaseTaskInputs(OpTask* task);
 
   /// Places a ready task and pushes it into the chosen ready queue.
   void ScheduleTask(const QueryExecPtr& query, OpTask* task);
@@ -96,6 +134,9 @@ class ChoppingExecutor {
   std::condition_variable ready_cv_;
   std::deque<std::pair<QueryExecPtr, OpTask*>> ready_queues_[2];
   bool shutting_down_ = false;
+  /// Every submitted query, so the destructor can fail stragglers whose
+  /// promise was never settled. Expired entries are pruned on Submit.
+  std::vector<std::weak_ptr<QueryExec>> live_queries_;
 
   std::vector<std::thread> workers_;
 };

@@ -5,6 +5,7 @@
 
 #include "cache/data_cache.h"
 #include "common/config.h"
+#include "fault/circuit_breaker.h"
 #include "hype/cost_model.h"
 #include "hype/load_tracker.h"
 #include "hype/scheduler.h"
@@ -34,7 +35,12 @@ class EngineContext {
         scheduler_(std::make_unique<HypeScheduler>(
             cost_model_.get(), load_tracker_.get(), simulator_.get())),
         telemetry_(std::make_unique<Telemetry>()),
-        database_(std::move(database)) {}
+        breaker_(std::make_unique<DeviceCircuitBreaker>(
+            DeviceCircuitBreaker::Options(), &telemetry_->registry())),
+        database_(std::move(database)) {
+    // Fault-injection counters surface in this context's metric exports.
+    simulator_->fault_injector().BindMetrics(&telemetry_->registry());
+  }
 
   EngineContext(const EngineContext&) = delete;
   EngineContext& operator=(const EngineContext&) = delete;
@@ -48,6 +54,8 @@ class EngineContext {
   /// Workload counters live on the telemetry bundle; `metrics()` remains as
   /// the established spelling at the recording sites.
   Telemetry& metrics() { return *telemetry_; }
+  /// Abort-storm circuit breaker gating device placement and execution.
+  DeviceCircuitBreaker& breaker() { return *breaker_; }
   const DatabasePtr& database() const { return database_; }
   const SystemConfig& config() const { return simulator_->config(); }
 
@@ -56,6 +64,7 @@ class EngineContext {
   void ResetRunStats() {
     simulator_->bus().ResetStats();
     simulator_->device_heap().ResetStats();
+    simulator_->fault_injector().ResetStats();
     cache_->ResetStats();
     telemetry_->Reset();
   }
@@ -67,6 +76,7 @@ class EngineContext {
   std::unique_ptr<LoadTracker> load_tracker_;
   std::unique_ptr<HypeScheduler> scheduler_;
   std::unique_ptr<Telemetry> telemetry_;
+  std::unique_ptr<DeviceCircuitBreaker> breaker_;  // after telemetry_
   DatabasePtr database_;
 };
 

@@ -23,8 +23,8 @@ Result<OperatorResult> ExecuteOnCpu(const PlanNode& node,
       // Intermediate result produced on the device: copy it back. This is
       // the cost a compile-time plan pays when a device operator aborted and
       // its successor was left on the other processor (Figure 8).
-      ctx.simulator().bus().Transfer(input->table_bytes(),
-                                     TransferDirection::kDeviceToHost);
+      HETDB_RETURN_NOT_OK(TransferWithRetry(
+          input->table_bytes(), TransferDirection::kDeviceToHost, ctx));
       input->ReleaseDeviceResources();
       input->location = ProcessorKind::kCpu;
     }
@@ -54,6 +54,29 @@ Result<OperatorResult> ExecuteOnCpu(const PlanNode& node,
   return result;
 }
 
+/// Consults the fault injector's kernel site before a device kernel launch.
+/// Returns non-OK when the launch must fail; a latency spike instead charges
+/// the extra modeled kernel time and succeeds.
+Status CheckKernelLaunch(const PlanNode& node, size_t input_bytes,
+                         EngineContext& ctx) {
+  FaultInjector& injector = ctx.simulator().fault_injector();
+  if (!injector.enabled()) return Status::OK();
+  const FaultDecision fault =
+      injector.Decide(FaultSite::kKernel, input_bytes);
+  if (fault.fault()) {
+    return fault.ToStatus("kernel " + node.label());
+  }
+  if (fault.kind == FaultKind::kLatencySpike) {
+    // Thermal throttling: the kernel succeeds but runs `latency_factor`
+    // times slower; charge the extra time on top of the regular kernel cost.
+    ctx.simulator().clock().Charge(
+        (fault.latency_factor - 1.0) *
+        ctx.simulator().EstimateComputeMicros(ProcessorKind::kGpu,
+                                              node.op_class(), input_bytes));
+  }
+  return Status::OK();
+}
+
 /// Device execution with staged allocation; see the header for the phases.
 Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
                                     const std::vector<OperatorResult*>& inputs,
@@ -74,6 +97,10 @@ Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
     const auto& scan = static_cast<const ScanNode&>(node);
     for (const auto& [key, column] : scan.base_columns()) {
       DataCache::Access access = ctx.cache().RequireOnDevice(column, key);
+      if (!access.status.ok()) {
+        // The load transfer faulted; the column is neither cached nor held.
+        return abort_with(access.status);
+      }
       if (access.resident) {
         result.cache_leases.push_back(std::move(access.lease));
         continue;
@@ -85,6 +112,8 @@ Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
       if (!allocation.ok()) return abort_with(allocation.status());
       result.device_allocations.push_back(std::move(allocation).value());
     }
+    Status launch = CheckKernelLaunch(node, node.InputBytes({}), ctx);
+    if (!launch.ok()) return abort_with(launch);
     HETDB_ASSIGN_OR_RETURN(TablePtr output, node.ComputeResult({}));
     result.table = std::move(output);
     result.base_data = true;
@@ -103,8 +132,9 @@ Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
           input->table_bytes(), "device input for " + node.label());
       if (!allocation.ok()) return abort_with(allocation.status());
       result.device_allocations.push_back(std::move(allocation).value());
-      ctx.simulator().bus().Transfer(input->table_bytes(),
-                                     TransferDirection::kHostToDevice);
+      Status transfer = ctx.simulator().bus().Transfer(
+          input->table_bytes(), TransferDirection::kHostToDevice);
+      if (!transfer.ok()) return abort_with(transfer);
     }
     input_tables.push_back(input->table);
   }
@@ -120,6 +150,8 @@ Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
   }
 
   // --- Phase 3: kernel --------------------------------------------------------
+  Status launch = CheckKernelLaunch(node, node.InputBytes(input_tables), ctx);
+  if (!launch.ok()) return abort_with(launch);
   Stopwatch kernel_watch;
   HETDB_ASSIGN_OR_RETURN(TablePtr output, node.ComputeResult(input_tables));
   const size_t input_bytes = node.InputBytes(input_tables);
@@ -161,28 +193,84 @@ Result<OperatorResult> ExecuteOperator(const PlanNode& node,
 Result<ExecutedOperator> ExecuteWithFallback(
     const PlanNode& node, const std::vector<OperatorResult*>& inputs,
     ProcessorKind processor, EngineContext& ctx) {
-  Result<OperatorResult> attempt = ExecuteOperator(node, inputs, processor, ctx);
-  if (attempt.ok()) {
-    ExecutedOperator executed;
-    executed.result = std::move(attempt).value();
-    executed.ran_on = processor;
-    executed.aborted = false;
-    return executed;
+  bool aborted = false;
+  if (processor == ProcessorKind::kGpu) {
+    DeviceCircuitBreaker& breaker = ctx.breaker();
+    const SystemConfig& config = ctx.config();
+    if (!breaker.AllowDevice()) {
+      // Breaker open: the device is aborting most operators right now, so
+      // don't even start one — go straight to the CPU without paying the
+      // wasted start-to-abort time of Figure 20.
+      ctx.metrics().registry().GetCounter("breaker.short_circuits").Increment();
+      processor = ProcessorKind::kCpu;
+    } else {
+      // Every iteration holds one breaker admission and reports exactly one
+      // outcome; retries re-request admission so half-open probe accounting
+      // stays exact.
+      for (int attempt = 0;; ++attempt) {
+        Result<OperatorResult> device_try =
+            ExecuteOperator(node, inputs, ProcessorKind::kGpu, ctx);
+        if (device_try.ok()) {
+          breaker.RecordDeviceSuccess();
+          ExecutedOperator executed;
+          executed.result = std::move(device_try).value();
+          executed.ran_on = ProcessorKind::kGpu;
+          executed.aborted = false;
+          return executed;
+        }
+        const Status& status = device_try.status();
+        if (!status.IsDeviceAbort()) {
+          // Logic error (bad plan, kernel bug): not the device's fault, not
+          // recoverable by moving processors.
+          return status;
+        }
+        breaker.RecordDeviceAbort(status.IsDeviceLost());
+        // Only transient faults are worth retrying on the device: heap
+        // contention (ResourceExhausted) does not resolve by waiting inside
+        // the operator (Section 2.5.1), and a lost device stays lost.
+        if (status.IsUnavailable() && attempt < config.device_retry_limit &&
+            breaker.AllowDevice()) {
+          const double backoff_micros =
+              config.device_retry_backoff_micros *
+              static_cast<double>(1 << attempt);
+          ctx.simulator().clock().Charge(backoff_micros);
+          MetricRegistry& registry = ctx.metrics().registry();
+          registry.GetCounter("engine.device_retries").Increment();
+          registry.GetHistogram("engine.retry_backoff_us")
+              .Record(static_cast<int64_t>(backoff_micros));
+          continue;
+        }
+        aborted = true;
+        break;
+      }
+      // The paper's fault tolerance: restart only the failed operator on the
+      // CPU; already-computed child results are preserved (Section 2.5.1).
+      processor = ProcessorKind::kCpu;
+    }
   }
-  if (processor == ProcessorKind::kGpu &&
-      attempt.status().IsResourceExhausted()) {
-    // The paper's fault tolerance: restart only the failed operator on the
-    // CPU; already-computed child results are preserved (Section 2.5.1).
-    Result<OperatorResult> retry =
-        ExecuteOperator(node, inputs, ProcessorKind::kCpu, ctx);
-    if (!retry.ok()) return retry.status();
-    ExecutedOperator executed;
-    executed.result = std::move(retry).value();
-    executed.ran_on = ProcessorKind::kCpu;
-    executed.aborted = true;
-    return executed;
+  Result<OperatorResult> run = ExecuteOperator(node, inputs, processor, ctx);
+  if (!run.ok()) return run.status();
+  ExecutedOperator executed;
+  executed.result = std::move(run).value();
+  executed.ran_on = processor;
+  executed.aborted = aborted;
+  return executed;
+}
+
+Status TransferWithRetry(size_t bytes, TransferDirection direction,
+                         EngineContext& ctx) {
+  const SystemConfig& config = ctx.config();
+  for (int attempt = 0;; ++attempt) {
+    Status status = ctx.simulator().bus().Transfer(bytes, direction);
+    if (status.ok() || !status.IsUnavailable() ||
+        attempt >= config.transfer_retry_limit) {
+      return status;
+    }
+    const double backoff_micros =
+        config.device_retry_backoff_micros * static_cast<double>(1 << attempt);
+    ctx.simulator().clock().Charge(backoff_micros);
+    ctx.metrics().registry().GetCounter("engine.transfer_retries").Increment();
   }
-  return attempt.status();
 }
 
 }  // namespace hetdb

@@ -62,8 +62,19 @@ Result<OperatorResult> ExecuteOperator(const PlanNode& node,
                                        ProcessorKind processor,
                                        EngineContext& ctx);
 
-/// ExecuteOperator with the paper's fault handling: on ResourceExhausted the
-/// abort is recorded and the operator transparently restarts on the CPU.
+/// ExecuteOperator with the engine's full fault handling:
+///
+///  * the device circuit breaker is consulted first — while it is open the
+///    operator short-circuits to the CPU without touching the device;
+///  * a *transient* device fault (Unavailable) retries on the device up to
+///    `SystemConfig::device_retry_limit` times, charging exponential modeled
+///    backoff between attempts;
+///  * a *persistent* abort (ResourceExhausted — the paper's heap-contention
+///    abort, Section 2.5.1 — or DeviceLost) restarts the operator on the CPU
+///    immediately; already-computed child results are preserved;
+///  * any non-device-abort error propagates unchanged.
+///
+/// Every admitted device attempt reports its outcome to the breaker.
 /// Returns the result together with the processor that finally ran it.
 struct ExecutedOperator {
   OperatorResult result;
@@ -73,6 +84,13 @@ struct ExecutedOperator {
 Result<ExecutedOperator> ExecuteWithFallback(
     const PlanNode& node, const std::vector<OperatorResult*>& inputs,
     ProcessorKind processor, EngineContext& ctx);
+
+/// Runs one bus transfer, retrying transient faults (Unavailable) up to
+/// `SystemConfig::transfer_retry_limit` times with exponential modeled
+/// backoff. For device-to-host result copy-backs, whose only recovery is the
+/// wire itself. Persistent faults return the clean non-OK status.
+Status TransferWithRetry(size_t bytes, TransferDirection direction,
+                         EngineContext& ctx);
 
 }  // namespace hetdb
 

@@ -16,8 +16,8 @@ Result<TablePtr> QueryExecutor::Execute(const PlanNodePtr& root,
   // If the final result still lives on the device, the user receives it on
   // the host: pay the copy-back.
   if (result.location == ProcessorKind::kGpu && !result.base_data) {
-    ctx_->simulator().bus().Transfer(result.table_bytes(),
-                                     TransferDirection::kDeviceToHost);
+    HETDB_RETURN_NOT_OK(TransferWithRetry(
+        result.table_bytes(), TransferDirection::kDeviceToHost, *ctx_));
     result.ReleaseDeviceResources();
   }
   return result.table;

@@ -1,0 +1,118 @@
+#ifndef HETDB_FAULT_CIRCUIT_BREAKER_H_
+#define HETDB_FAULT_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/metric_registry.h"
+
+namespace hetdb {
+
+/// Abort-storm detector for the co-processor.
+///
+/// The paper shows that under heap contention a device operator's abort is
+/// not an isolated event: once the heap is oversubscribed, *most* device
+/// operators abort, each paying the wasted start-to-abort time of Figure 20
+/// before restarting on the CPU. The breaker turns that pattern into a
+/// cheap, global decision: when the recent device abort ratio crosses a
+/// threshold, stop *sending* operators to the device at all (trip to
+/// CPU-only), then probe cautiously (half-open) and restore full device
+/// placement once probes succeed.
+///
+/// States:
+///
+///   kClosed   — normal operation; device attempts are admitted and their
+///               outcomes recorded in a sliding window. When the window has
+///               >= min_samples outcomes and the abort ratio reaches
+///               trip_ratio, the breaker opens.
+///   kOpen     — every AllowDevice() is denied (operators run CPU-only).
+///               After cooldown_denials denials the breaker half-opens.
+///               Cooldown is counted in denied *requests*, not wall time, so
+///               the state machine is deterministic under the no-sleep unit
+///               test configuration.
+///   kHalfOpen — up to half_open_probes concurrent device attempts are
+///               admitted. probes_to_close successes close the breaker; any
+///               abort re-opens it.
+///
+/// A DeviceLost abort trips the breaker immediately regardless of the
+/// window — one "device fell off the bus" is enough.
+///
+/// Thread-safe; every transition is counted and mirrored into bound metrics
+/// (`breaker.state` gauge, `breaker.trips` / `breaker.denials` /
+/// `breaker.transitions` counters).
+class DeviceCircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  struct Options {
+    /// Sliding window of recent device-attempt outcomes.
+    int window = 32;
+    /// Outcomes needed in the window before the trip test applies.
+    int min_samples = 12;
+    /// Abort ratio in the window that trips the breaker.
+    double trip_ratio = 0.6;
+    /// Denied device requests in kOpen before probing (half-open).
+    int cooldown_denials = 16;
+    /// Concurrent device probes admitted while half-open.
+    int half_open_probes = 2;
+    /// Probe successes needed to close again.
+    int probes_to_close = 2;
+  };
+
+  DeviceCircuitBreaker();  // default options, no metrics
+  explicit DeviceCircuitBreaker(const Options& options,
+                                MetricRegistry* registry = nullptr);
+
+  DeviceCircuitBreaker(const DeviceCircuitBreaker&) = delete;
+  DeviceCircuitBreaker& operator=(const DeviceCircuitBreaker&) = delete;
+
+  /// Replaces the options and resets to kClosed (tests reconfigure windows).
+  void Configure(const Options& options);
+
+  /// Gate consulted by ExecuteWithFallback before a device attempt. Denials
+  /// while open advance the cooldown; admissions while half-open consume
+  /// probe slots. Exactly one RecordDevice{Success,Abort} must follow every
+  /// admitted attempt.
+  bool AllowDevice();
+
+  /// Non-consuming peek for run-time placers: false only while the breaker
+  /// is open (placing on the device would be denied at execution anyway).
+  /// Also advances the open-state cooldown so a placer-only workload cannot
+  /// wedge the breaker open forever.
+  bool device_available();
+
+  void RecordDeviceSuccess();
+  void RecordDeviceAbort(bool device_lost = false);
+
+  State state() const;
+  uint64_t trips() const;
+  uint64_t denials() const;
+
+  /// Back to kClosed with an empty window.
+  void Reset();
+
+ private:
+  void TransitionLocked(State next);
+  void DenyLocked();
+
+  mutable std::mutex mutex_;
+  Options options_;
+  State state_ = State::kClosed;
+  std::vector<bool> window_;  // ring buffer; true = abort
+  int window_next_ = 0;
+  int window_count_ = 0;
+  int window_aborts_ = 0;
+  int cooldown_denials_seen_ = 0;
+  int probes_inflight_ = 0;
+  int probe_successes_ = 0;
+  uint64_t trips_ = 0;
+  uint64_t denials_ = 0;
+  MetricRegistry* registry_ = nullptr;
+};
+
+const char* BreakerStateToString(DeviceCircuitBreaker::State state);
+
+}  // namespace hetdb
+
+#endif  // HETDB_FAULT_CIRCUIT_BREAKER_H_

@@ -46,6 +46,11 @@ size_t MissingInputBytes(const PlanNode& node,
 RuntimePlacer MakeHypePlacer() {
   return [](const PlanNode& node, const std::vector<OperatorResult*>& inputs,
             EngineContext& ctx) -> ProcessorKind {
+    if (!ctx.breaker().device_available()) {
+      // Breaker open (abort storm): device placement would be denied at
+      // execution time anyway, so place on the CPU outright.
+      return ProcessorKind::kCpu;
+    }
     const size_t missing = MissingInputBytes(node, inputs, ctx);
     if (EstimateDeviceFootprint(node, inputs, missing) >
         ctx.simulator().device_heap().capacity()) {
@@ -70,6 +75,7 @@ RuntimePlacer MakeHypePlacer() {
 RuntimePlacer MakeDataDrivenPlacer() {
   return [](const PlanNode& node, const std::vector<OperatorResult*>& inputs,
             EngineContext& ctx) -> ProcessorKind {
+    if (!ctx.breaker().device_available()) return ProcessorKind::kCpu;
     const size_t missing = MissingInputBytes(node, inputs, ctx);
     if (missing > 0) return ProcessorKind::kCpu;
     if (EstimateDeviceFootprint(node, inputs, 0) >

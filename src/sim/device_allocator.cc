@@ -13,9 +13,14 @@ void DeviceAllocation::Release() {
 Result<DeviceAllocation> DeviceAllocator::Allocate(size_t bytes,
                                                    const std::string& tag) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (failure_injector_ && failure_injector_(bytes)) {
-    failed_allocations_.fetch_add(1, std::memory_order_relaxed);
-    return Status::ResourceExhausted("injected failure for " + tag);
+  if (fault_injector_ != nullptr && fault_injector_->enabled()) {
+    const FaultDecision decision =
+        fault_injector_->Decide(FaultSite::kDeviceAlloc, bytes);
+    if (decision.fault()) {
+      failed_allocations_.fetch_add(1, std::memory_order_relaxed);
+      return decision.ToStatus("allocation of " + std::to_string(bytes) +
+                               " bytes for " + tag);
+    }
   }
   const size_t current = used_.load(std::memory_order_relaxed);
   if (bytes > capacity_ || current > capacity_ - bytes) {

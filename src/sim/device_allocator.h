@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "fault/fault_injector.h"
 
 namespace hetdb {
 
@@ -58,13 +58,18 @@ class DeviceAllocation {
 /// allocate in several steps while holding earlier allocations.
 class DeviceAllocator {
  public:
-  explicit DeviceAllocator(size_t capacity) : capacity_(capacity) {}
+  /// `fault_injector` (optional) is consulted on every allocation at the
+  /// kDeviceAlloc site; it is how tests and chaos runs drive heap-exhaustion
+  /// and device-loss failures deterministically.
+  explicit DeviceAllocator(size_t capacity,
+                           FaultInjector* fault_injector = nullptr)
+      : capacity_(capacity), fault_injector_(fault_injector) {}
 
   DeviceAllocator(const DeviceAllocator&) = delete;
   DeviceAllocator& operator=(const DeviceAllocator&) = delete;
 
   /// Attempts to reserve `bytes`. Fails immediately (no queuing) when the
-  /// remaining capacity is insufficient or the failure injector fires.
+  /// remaining capacity is insufficient or the fault injector fires.
   Result<DeviceAllocation> Allocate(size_t bytes, const std::string& tag);
 
   size_t capacity() const { return capacity_; }
@@ -81,23 +86,16 @@ class DeviceAllocator {
   size_t peak_used() const { return peak_used_.load(std::memory_order_relaxed); }
   void ResetStats();
 
-  /// Test hook: when set, every allocation consults the injector first and
-  /// fails with ResourceExhausted if it returns true.
-  void set_failure_injector(std::function<bool(size_t)> injector) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    failure_injector_ = std::move(injector);
-  }
-
  private:
   friend class DeviceAllocation;
   void Free(size_t bytes);
 
   const size_t capacity_;
+  FaultInjector* fault_injector_;
   std::atomic<size_t> used_{0};
   std::atomic<size_t> peak_used_{0};
   std::atomic<uint64_t> failed_allocations_{0};
-  std::mutex mutex_;  // guards allocate/peak update and the injector
-  std::function<bool(size_t)> failure_injector_;
+  std::mutex mutex_;  // guards allocate/peak update
 };
 
 }  // namespace hetdb

@@ -4,14 +4,28 @@
 
 namespace hetdb {
 
-void PcieBus::Transfer(size_t bytes, TransferDirection direction,
-                       bool asynchronous) {
-  if (bytes == 0) return;
+Status PcieBus::Transfer(size_t bytes, TransferDirection direction,
+                         bool asynchronous) {
+  if (bytes == 0) return Status::OK();
   const double effective_mbps =
       asynchronous ? bandwidth_mbps_ : bandwidth_mbps_ * sync_efficiency_;
   // bytes / (MB/s) == microseconds, since 1 MB/s == 1 byte/us.
-  const double micros = static_cast<double>(bytes) / effective_mbps;
+  double micros = static_cast<double>(bytes) / effective_mbps;
   const int lane = Index(direction);
+
+  FaultDecision fault;
+  if (fault_injector_ != nullptr && fault_injector_->enabled()) {
+    fault = fault_injector_->Decide(FaultSite::kTransfer, bytes);
+    if (fault.kind == FaultKind::kDeviceLost) {
+      // The device fell off the bus: the transfer never starts.
+      failed_transfers_.fetch_add(1, std::memory_order_relaxed);
+      return fault.ToStatus("PCIe transfer of " + std::to_string(bytes) +
+                            " bytes");
+    }
+    if (fault.kind == FaultKind::kLatencySpike) {
+      micros *= fault.latency_factor;
+    }
+  }
 
   // Transfer span: total duration covers lane queuing + the modeled copy;
   // the queue_wait_us arg separates the two (Figures 6/15/19 diagnose
@@ -30,17 +44,37 @@ void PcieBus::Transfer(size_t bytes, TransferDirection direction,
       span.AddArg("queue_wait_us",
                   TraceRecorder::Global().NowMicros() - wait_start_micros);
     }
-    clock_->Charge(micros);
+    if (fault.kind == FaultKind::kTransient) {
+      // The copy dies partway: half the modeled duration is wasted on the
+      // lane, nothing arrives.
+      clock_->Charge(micros / 2);
+    } else {
+      clock_->Charge(micros);
+    }
+  }
+  if (fault.kind == FaultKind::kTransient) {
+    if (span.active()) {
+      span.AddArg("bytes", static_cast<int64_t>(bytes));
+      span.AddArg("error", "injected transient transfer fault");
+    }
+    failed_transfers_.fetch_add(1, std::memory_order_relaxed);
+    return fault.ToStatus("PCIe transfer of " + std::to_string(bytes) +
+                          " bytes");
   }
   if (span.active()) {
     span.AddArg("bytes", static_cast<int64_t>(bytes));
     span.AddArg("modeled_us", static_cast<int64_t>(micros));
     span.AddArg("mode", asynchronous ? "async" : "sync");
+    if (fault.kind == FaultKind::kLatencySpike) {
+      span.AddArg("latency_spike",
+                  static_cast<int64_t>(fault.latency_factor));
+    }
   }
   bytes_[lane].fetch_add(bytes, std::memory_order_relaxed);
   micros_[lane].fetch_add(static_cast<int64_t>(micros),
                           std::memory_order_relaxed);
   count_[lane].fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 void PcieBus::ResetStats() {
@@ -49,6 +83,7 @@ void PcieBus::ResetStats() {
     micros_[lane].store(0, std::memory_order_relaxed);
     count_[lane].store(0, std::memory_order_relaxed);
   }
+  failed_transfers_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hetdb

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/status.h"
+#include "fault/fault_injector.h"
 #include "sim/sim_clock.h"
 
 namespace hetdb {
@@ -22,19 +24,32 @@ class PcieBus {
  public:
   /// `bandwidth_mbps` is the asynchronous (page-locked staging, CUDA-stream)
   /// bandwidth; synchronous transfers run at `bandwidth_mbps *
-  /// sync_efficiency` (Section 2.5.3 of the paper).
-  PcieBus(double bandwidth_mbps, double sync_efficiency, SimClock* clock)
+  /// sync_efficiency` (Section 2.5.3 of the paper). `fault_injector`
+  /// (optional) is consulted per transfer at the kTransfer site: it can slow
+  /// a transfer down (latency spike), fail it transiently (Unavailable), or
+  /// report the device gone (DeviceLost).
+  PcieBus(double bandwidth_mbps, double sync_efficiency, SimClock* clock,
+          FaultInjector* fault_injector = nullptr)
       : bandwidth_mbps_(bandwidth_mbps),
         sync_efficiency_(sync_efficiency),
-        clock_(clock) {}
+        clock_(clock),
+        fault_injector_(fault_injector) {}
 
   PcieBus(const PcieBus&) = delete;
   PcieBus& operator=(const PcieBus&) = delete;
 
   /// Moves `bytes` across the bus, blocking the calling thread for the
   /// modeled duration (queuing behind other transfers in the same direction).
-  void Transfer(size_t bytes, TransferDirection direction,
-                bool asynchronous = true);
+  /// Returns non-OK only when the fault injector fails the transfer; a
+  /// transiently failed transfer still charges half the modeled duration
+  /// (the wasted partial copy) but counts no bytes as transferred.
+  Status Transfer(size_t bytes, TransferDirection direction,
+                  bool asynchronous = true);
+
+  /// Transfers failed by the fault injector (per reporting/tests).
+  uint64_t failed_transfers() const {
+    return failed_transfers_.load(std::memory_order_relaxed);
+  }
 
   uint64_t transferred_bytes(TransferDirection direction) const {
     return bytes_[Index(direction)].load(std::memory_order_relaxed);
@@ -60,10 +75,12 @@ class PcieBus {
   const double bandwidth_mbps_;
   const double sync_efficiency_;
   SimClock* clock_;
+  FaultInjector* fault_injector_;
   std::mutex lane_mutex_[2];
   std::atomic<uint64_t> bytes_[2] = {};
   std::atomic<int64_t> micros_[2] = {};
   std::atomic<uint64_t> count_[2] = {};
+  std::atomic<uint64_t> failed_transfers_{0};
 };
 
 }  // namespace hetdb

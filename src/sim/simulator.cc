@@ -17,9 +17,12 @@ const char* ProcessorKindToString(ProcessorKind kind) {
 Simulator::Simulator(const SystemConfig& config)
     : config_(config),
       clock_(config.simulate_time, config.time_scale),
-      device_heap_(std::make_unique<DeviceAllocator>(config.device_heap_bytes())),
+      fault_injector_(std::make_unique<FaultInjector>()),
+      device_heap_(std::make_unique<DeviceAllocator>(config.device_heap_bytes(),
+                                                     fault_injector_.get())),
       bus_(std::make_unique<PcieBus>(config.pcie_mbps,
-                                     config.pcie_sync_efficiency, &clock_)),
+                                     config.pcie_sync_efficiency, &clock_,
+                                     fault_injector_.get())),
       cpu_slots_(config.cpu_workers) {
   HETDB_CHECK(config.cpu_workers > 0);
   HETDB_CHECK(config.pcie_mbps > 0);

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/config.h"
+#include "fault/fault_injector.h"
 #include "sim/device_allocator.h"
 #include "sim/pcie_bus.h"
 #include "sim/sim_clock.h"
@@ -83,6 +84,9 @@ class Simulator {
   SimClock& clock() { return clock_; }
   DeviceAllocator& device_heap() { return *device_heap_; }
   PcieBus& bus() { return *bus_; }
+  /// The machine's fault injector; consulted by the heap allocator, the
+  /// bus, and device kernel launches. Disarmed by default.
+  FaultInjector& fault_injector() { return *fault_injector_; }
 
   /// Models executing one operator kernel of class `op_class` over
   /// `input_bytes` of data on `processor`. Blocks for the modeled duration
@@ -102,6 +106,7 @@ class Simulator {
 
   SystemConfig config_;
   SimClock clock_;
+  std::unique_ptr<FaultInjector> fault_injector_;  // before heap/bus users
   std::unique_ptr<DeviceAllocator> device_heap_;
   std::unique_ptr<PcieBus> bus_;
   Semaphore cpu_slots_;

@@ -1,0 +1,507 @@
+// Chaos suite: SSB workloads under seeded, deterministic fault schedules.
+//
+// The contract under test (DESIGN.md §8): whatever the device does — heap
+// exhaustion, transient kernel faults, dying mid-transfer, falling off the
+// bus entirely — the engine either returns the bit-identical result of a
+// fault-free CPU run or a clean Status. Never a wrong answer, never a
+// stranded future, never a leaked device byte.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/chopping_executor.h"
+#include "fault/circuit_breaker.h"
+#include "fault/fault_injector.h"
+#include "placement/runtime.h"
+#include "placement/strategy_runner.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/ssb_queries.h"
+#include "tests/test_util.h"
+
+namespace hetdb {
+namespace {
+
+DatabasePtr ChaosDb() {
+  static DatabasePtr db = [] {
+    SsbGeneratorOptions options;
+    options.scale_factor = 0.1;
+    return GenerateSsbDatabase(options);
+  }();
+  return db;
+}
+
+/// Fault-free CPU reference result, computed once per query.
+TablePtr Reference(const std::string& query_name) {
+  DatabasePtr db = ChaosDb();
+  EngineContext ctx(TestConfig(), db);
+  StrategyRunner runner(&ctx, Strategy::kCpuOnly);
+  Result<NamedQuery> query = SsbQueryByName(query_name);
+  EXPECT_TRUE(query.ok());
+  Result<PlanNodePtr> plan = query->builder(*db);
+  EXPECT_TRUE(plan.ok());
+  Result<TablePtr> result = runner.RunQuery(plan.value());
+  EXPECT_TRUE(result.ok());
+  return result.value();
+}
+
+PlanNodePtr ChaosPlan(const std::string& query_name) {
+  Result<NamedQuery> query = SsbQueryByName(query_name);
+  EXPECT_TRUE(query.ok());
+  Result<PlanNodePtr> plan = query->builder(*ChaosDb());
+  EXPECT_TRUE(plan.ok());
+  return plan.value();
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit behaviour (determinism is what makes chaos replayable)
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedSameScheduleSameDecisions) {
+  FaultInjector a(42), b(42);
+  FaultSchedule schedule =
+      FaultSchedule::WithProbability(FaultKind::kTransient, 0.37);
+  a.SetSchedule(FaultSite::kKernel, schedule);
+  b.SetSchedule(FaultSite::kKernel, schedule);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.Decide(FaultSite::kKernel, 100).kind,
+              b.Decide(FaultSite::kKernel, 100).kind);
+  }
+  EXPECT_GT(a.total_faults(), 0u);
+  EXPECT_EQ(a.total_faults(), b.total_faults());
+}
+
+TEST(FaultInjectorTest, BurstAndMaxFaultsBoundTheDamage) {
+  FaultInjector injector(7);
+  FaultSchedule schedule = FaultSchedule::Always(FaultKind::kTransient);
+  schedule.burst_length = 3;
+  schedule.max_faults = 4;
+  injector.SetSchedule(FaultSite::kTransfer, schedule);
+  int faults = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (injector.Decide(FaultSite::kTransfer).fault()) ++faults;
+  }
+  EXPECT_EQ(faults, 4);  // capped by max_faults despite probability 1
+  EXPECT_EQ(injector.faults_injected(FaultSite::kTransfer,
+                                     FaultKind::kTransient),
+            4u);
+}
+
+TEST(FaultInjectorTest, MinBytesSparesSmallEvents) {
+  FaultInjector injector;
+  FaultSchedule schedule = FaultSchedule::Always(FaultKind::kHeapExhausted);
+  schedule.min_bytes = 1000;
+  injector.SetSchedule(FaultSite::kDeviceAlloc, schedule);
+  EXPECT_FALSE(injector.Decide(FaultSite::kDeviceAlloc, 999).fault());
+  EXPECT_TRUE(injector.Decide(FaultSite::kDeviceAlloc, 1000).fault());
+}
+
+TEST(FaultInjectorTest, DecisionStatusCodesMatchFaultKinds) {
+  FaultDecision decision;
+  decision.kind = FaultKind::kHeapExhausted;
+  EXPECT_TRUE(decision.ToStatus("x").IsResourceExhausted());
+  decision.kind = FaultKind::kTransient;
+  EXPECT_TRUE(decision.ToStatus("x").IsUnavailable());
+  decision.kind = FaultKind::kDeviceLost;
+  EXPECT_TRUE(decision.ToStatus("x").IsDeviceLost());
+  for (FaultKind kind : {FaultKind::kHeapExhausted, FaultKind::kTransient,
+                         FaultKind::kDeviceLost}) {
+    decision.kind = kind;
+    EXPECT_TRUE(decision.ToStatus("x").IsDeviceAbort());
+  }
+}
+
+TEST(FaultInjectorTest, OfflineEpisodeDominatesEverySite) {
+  FaultInjector injector;
+  injector.ForceOffline(3);
+  EXPECT_TRUE(injector.offline());
+  EXPECT_EQ(injector.Decide(FaultSite::kDeviceAlloc).kind,
+            FaultKind::kDeviceLost);
+  EXPECT_EQ(injector.Decide(FaultSite::kKernel).kind, FaultKind::kDeviceLost);
+  EXPECT_EQ(injector.Decide(FaultSite::kTransfer).kind,
+            FaultKind::kDeviceLost);
+  EXPECT_FALSE(injector.offline());  // episode drained
+  EXPECT_EQ(injector.Decide(FaultSite::kDeviceAlloc).kind, FaultKind::kNone);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit-breaker state machine
+// ---------------------------------------------------------------------------
+
+DeviceCircuitBreaker::Options SmallBreaker() {
+  DeviceCircuitBreaker::Options options;
+  options.window = 8;
+  options.min_samples = 4;
+  options.trip_ratio = 0.5;
+  options.cooldown_denials = 4;
+  options.half_open_probes = 2;
+  options.probes_to_close = 2;
+  return options;
+}
+
+TEST(CircuitBreakerTest, AbortStormTripsThenProbesThenCloses) {
+  DeviceCircuitBreaker breaker{SmallBreaker()};
+  // Four aborts in a row: ratio 1.0 >= 0.5 with 4 >= min_samples.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.AllowDevice());
+    breaker.RecordDeviceAbort();
+  }
+  EXPECT_EQ(breaker.state(), DeviceCircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  // Cooldown counted in denials, deterministic without wall clock.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(breaker.AllowDevice());
+  EXPECT_EQ(breaker.state(), DeviceCircuitBreaker::State::kHalfOpen);
+  // Two successful probes close it again.
+  ASSERT_TRUE(breaker.AllowDevice());
+  breaker.RecordDeviceSuccess();
+  ASSERT_TRUE(breaker.AllowDevice());
+  breaker.RecordDeviceSuccess();
+  EXPECT_EQ(breaker.state(), DeviceCircuitBreaker::State::kClosed);
+  // Closing cleared the window: one fresh abort must not re-trip.
+  ASSERT_TRUE(breaker.AllowDevice());
+  breaker.RecordDeviceAbort();
+  EXPECT_EQ(breaker.state(), DeviceCircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  DeviceCircuitBreaker breaker{SmallBreaker()};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.AllowDevice());
+    breaker.RecordDeviceAbort();
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(breaker.AllowDevice());
+  ASSERT_EQ(breaker.state(), DeviceCircuitBreaker::State::kHalfOpen);
+  ASSERT_TRUE(breaker.AllowDevice());
+  breaker.RecordDeviceAbort();
+  EXPECT_EQ(breaker.state(), DeviceCircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+}
+
+TEST(CircuitBreakerTest, DeviceLostTripsImmediately) {
+  DeviceCircuitBreaker breaker{SmallBreaker()};
+  ASSERT_TRUE(breaker.AllowDevice());
+  breaker.RecordDeviceAbort(/*device_lost=*/true);
+  EXPECT_EQ(breaker.state(), DeviceCircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.device_available());
+}
+
+TEST(CircuitBreakerTest, PlacerPeekAdvancesCooldown) {
+  DeviceCircuitBreaker breaker{SmallBreaker()};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.AllowDevice());
+    breaker.RecordDeviceAbort();
+  }
+  // A placer-only workload (device_available, never AllowDevice) must not
+  // wedge the breaker open forever.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(breaker.device_available());
+  EXPECT_EQ(breaker.state(), DeviceCircuitBreaker::State::kHalfOpen);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level chaos: SSB under seeded fault schedules
+// ---------------------------------------------------------------------------
+
+const char* const kChaosQueries[] = {"Q1.1", "Q2.1", "Q3.1"};
+
+/// Heap exhaustion + transient kernel faults + transfer latency spikes:
+/// every fault class the engine recovers from transparently (retry or CPU
+/// fallback), so every query must succeed with the reference result — across
+/// compile-time, run-time, and chopping placement.
+TEST(ChaosTest, MixedFaultsNeverCorruptResults) {
+  DatabasePtr db = ChaosDb();
+  for (Strategy strategy :
+       {Strategy::kGpuOnly, Strategy::kRunTime, Strategy::kChopping,
+        Strategy::kDataDrivenChopping}) {
+    EngineContext ctx(TestConfig(), db);
+    {
+      StrategyRunner runner(&ctx, strategy);
+      runner.RefreshDataPlacement();
+      FaultInjector& injector = ctx.simulator().fault_injector();
+      injector.Reseed(0xc4a05u + static_cast<uint64_t>(strategy));
+      injector.SetSchedule(
+          FaultSite::kDeviceAlloc,
+          FaultSchedule::WithProbability(FaultKind::kHeapExhausted, 0.3));
+      injector.SetSchedule(
+          FaultSite::kKernel,
+          FaultSchedule::WithProbability(FaultKind::kTransient, 0.2));
+      injector.SetSchedule(
+          FaultSite::kTransfer,
+          FaultSchedule::WithProbability(FaultKind::kLatencySpike, 0.2));
+      for (const char* name : kChaosQueries) {
+        TablePtr expected = Reference(name);
+        for (int round = 0; round < 3; ++round) {
+          Result<TablePtr> result = runner.RunQuery(ChaosPlan(name));
+          ASSERT_TRUE(result.ok())
+              << StrategyToString(strategy) << " " << name << ": "
+              << result.status().ToString();
+          EXPECT_TRUE(TablesEqual(*expected, *result.value()))
+              << StrategyToString(strategy) << " " << name;
+        }
+      }
+      EXPECT_GT(injector.total_faults(), 0u) << StrategyToString(strategy);
+    }
+    // Runner destroyed: all queries drained. No leaked device bytes.
+    EXPECT_EQ(ctx.simulator().device_heap().used(), 0u)
+        << StrategyToString(strategy);
+  }
+}
+
+/// Transient *transfer* faults can strike the one path with no processor
+/// fallback: the device-to-host result copy-back. Queries must then either
+/// succeed (retries absorbed the fault) with the correct result, or fail
+/// with the clean transfer status — and never leak device memory.
+TEST(ChaosTest, TransferFaultsSucceedOrFailCleanly) {
+  DatabasePtr db = ChaosDb();
+  TablePtr expected = Reference("Q2.1");
+  for (Strategy strategy : {Strategy::kGpuOnly, Strategy::kChopping}) {
+    EngineContext ctx(TestConfig(), db);
+    {
+      StrategyRunner runner(&ctx, strategy);
+      FaultInjector& injector = ctx.simulator().fault_injector();
+      injector.Reseed(0xbadbu + static_cast<uint64_t>(strategy));
+      injector.SetSchedule(
+          FaultSite::kTransfer,
+          FaultSchedule::WithProbability(FaultKind::kTransient, 0.4));
+      int succeeded = 0;
+      for (int round = 0; round < 6; ++round) {
+        Result<TablePtr> result = runner.RunQuery(ChaosPlan("Q2.1"));
+        if (result.ok()) {
+          ++succeeded;
+          EXPECT_TRUE(TablesEqual(*expected, *result.value()))
+              << StrategyToString(strategy);
+        } else {
+          EXPECT_TRUE(result.status().IsDeviceAbort())
+              << StrategyToString(strategy) << ": "
+              << result.status().ToString();
+        }
+      }
+      EXPECT_GT(succeeded, 0) << StrategyToString(strategy);
+      EXPECT_GT(ctx.simulator().bus().failed_transfers(), 0u);
+    }
+    EXPECT_EQ(ctx.simulator().device_heap().used(), 0u)
+        << StrategyToString(strategy);
+  }
+}
+
+/// A device that falls off the bus trips the breaker on the first DeviceLost
+/// abort; the rest of the workload short-circuits to the CPU and completes
+/// with correct results.
+TEST(ChaosTest, DeviceLossFailsOverToCpu) {
+  DatabasePtr db = ChaosDb();
+  TablePtr expected = Reference("Q1.1");
+  EngineContext ctx(TestConfig(), db);
+  {
+    StrategyRunner runner(&ctx, Strategy::kGpuOnly);
+    ctx.simulator().fault_injector().SetSchedule(
+        FaultSite::kDeviceAlloc, FaultSchedule::Always(FaultKind::kDeviceLost));
+    for (int round = 0; round < 3; ++round) {
+      Result<TablePtr> result = runner.RunQuery(ChaosPlan("Q1.1"));
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(TablesEqual(*expected, *result.value()));
+    }
+    EXPECT_GE(ctx.breaker().trips(), 1u);
+    // Denials may have advanced the breaker into half-open by now, but the
+    // still-lost device re-trips every probe — it can never be closed.
+    EXPECT_NE(ctx.breaker().state(), DeviceCircuitBreaker::State::kClosed);
+    EXPECT_GT(
+        ctx.telemetry().registry().GetCounter("breaker.short_circuits").value(),
+        0);
+  }
+  EXPECT_EQ(ctx.simulator().device_heap().used(), 0u);
+}
+
+/// Whole-device-offline episode (every site returns DeviceLost until it
+/// drains): the workload fails over to the CPU; once the episode ends and
+/// the breaker is reset, device execution resumes.
+TEST(ChaosTest, OfflineEpisodeIsSurvivedAndRecoveredFrom) {
+  DatabasePtr db = ChaosDb();
+  TablePtr expected = Reference("Q1.1");
+  EngineContext ctx(TestConfig(), db);
+  StrategyRunner runner(&ctx, Strategy::kGpuOnly);
+  ctx.simulator().fault_injector().ForceOffline(10000);
+
+  Result<TablePtr> during = runner.RunQuery(ChaosPlan("Q1.1"));
+  ASSERT_TRUE(during.ok()) << during.status().ToString();
+  EXPECT_TRUE(TablesEqual(*expected, *during.value()));
+  EXPECT_GT(ctx.simulator().fault_injector().total_faults(), 0u);
+
+  // Device comes back; operator recovery path confirmed by device operators
+  // running again after the breaker resets.
+  ctx.simulator().fault_injector().ClearAll();
+  ctx.breaker().Reset();
+  const uint64_t gpu_ops_before = ctx.telemetry().gpu_operators();
+  Result<TablePtr> after = runner.RunQuery(ChaosPlan("Q1.1"));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(TablesEqual(*expected, *after.value()));
+  EXPECT_GT(ctx.telemetry().gpu_operators(), gpu_ops_before);
+}
+
+/// After an abort storm trips the breaker, clearing the fault and continuing
+/// to submit work recovers device execution through half-open probes — no
+/// manual Reset needed.
+TEST(ChaosTest, BreakerRecoversViaHalfOpenProbes) {
+  DatabasePtr db = ChaosDb();
+  TablePtr expected = Reference("Q1.1");
+  EngineContext ctx(TestConfig(), db);
+  ctx.breaker().Configure(SmallBreaker());
+  StrategyRunner runner(&ctx, Strategy::kGpuOnly);
+  FaultInjector& injector = ctx.simulator().fault_injector();
+  injector.SetSchedule(
+      FaultSite::kDeviceAlloc,
+      FaultSchedule::Always(FaultKind::kHeapExhausted));
+
+  Result<TablePtr> stormy = runner.RunQuery(ChaosPlan("Q1.1"));
+  ASSERT_TRUE(stormy.ok());
+  EXPECT_TRUE(TablesEqual(*expected, *stormy.value()));
+  EXPECT_GE(ctx.breaker().trips(), 1u);
+
+  // Fault gone; keep submitting. Denials advance the cooldown, probes
+  // succeed, the breaker closes.
+  injector.ClearAll();
+  for (int round = 0; round < 10 &&
+                      ctx.breaker().state() != DeviceCircuitBreaker::State::kClosed;
+       ++round) {
+    Result<TablePtr> result = runner.RunQuery(ChaosPlan("Q1.1"));
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(TablesEqual(*expected, *result.value()));
+  }
+  EXPECT_EQ(ctx.breaker().state(), DeviceCircuitBreaker::State::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation, deadlines, shutdown
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, PreCancelledQueryFailsWithCancelled) {
+  DatabasePtr db = ChaosDb();
+  EngineContext ctx(TestConfig(), db);
+  ChoppingExecutor executor(&ctx, 2, 2);
+  QueryControls controls;
+  controls.cancel = CancelToken::Create();
+  controls.cancel.RequestCancel();
+  auto future =
+      executor.Submit(ChaosPlan("Q1.1"), MakeHypePlacer(), controls);
+  Result<TablePtr> result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled());
+}
+
+TEST(ChaosTest, ExpiredDeadlineFailsWithCancelled) {
+  DatabasePtr db = ChaosDb();
+  EngineContext ctx(TestConfig(), db);
+  ChoppingExecutor executor(&ctx, 2, 2);
+  QueryControls controls;
+  controls.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  Result<TablePtr> result =
+      executor.ExecuteQuery(ChaosPlan("Q1.1"), MakeHypePlacer(), controls);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled());
+}
+
+TEST(ChaosTest, MidFlightCancelResolvesEveryFutureAndLeaksNothing) {
+  DatabasePtr db = ChaosDb();
+  TablePtr expected = Reference("Q1.1");
+  EngineContext ctx(TestConfig(), db);
+  {
+    ChoppingExecutor executor(&ctx, 2, 2);
+    std::vector<CancelToken> tokens;
+    std::vector<std::future<Result<TablePtr>>> futures;
+    for (int i = 0; i < 12; ++i) {
+      QueryControls controls;
+      controls.cancel = CancelToken::Create();
+      tokens.push_back(controls.cancel);
+      futures.push_back(
+          executor.Submit(ChaosPlan("Q1.1"), MakeHypePlacer(), controls));
+    }
+    // Cancel every other query while they race through the pool.
+    for (size_t i = 0; i < tokens.size(); i += 2) tokens[i].RequestCancel();
+    for (size_t i = 0; i < futures.size(); ++i) {
+      Result<TablePtr> result = futures[i].get();  // must never throw
+      if (result.ok()) {
+        EXPECT_TRUE(TablesEqual(*expected, *result.value()));
+      } else {
+        EXPECT_TRUE(result.status().IsCancelled())
+            << result.status().ToString();
+      }
+    }
+  }
+  EXPECT_EQ(ctx.simulator().device_heap().used(), 0u);
+}
+
+/// The shutdown race: destroying the executor with queries in flight must
+/// resolve every future (with the result or Cancelled — never
+/// broken_promise) and release all device memory.
+TEST(ChaosTest, DestructionWithInFlightQueriesStrandsNoFuture) {
+  DatabasePtr db = ChaosDb();
+  TablePtr expected = Reference("Q1.1");
+  EngineContext ctx(TestConfig(), db);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    std::vector<std::future<Result<TablePtr>>> futures;
+    {
+      ChoppingExecutor executor(&ctx, 2, 2);
+      for (int i = 0; i < 8; ++i) {
+        futures.push_back(executor.Submit(ChaosPlan("Q1.1"),
+                                          MakeDataDrivenPlacer()));
+      }
+      // Destructor fires with most queries still in flight.
+    }
+    for (auto& future : futures) {
+      ASSERT_TRUE(future.valid());
+      Result<TablePtr> result = future.get();  // throws if promise stranded
+      if (result.ok()) {
+        EXPECT_TRUE(TablesEqual(*expected, *result.value()));
+      } else {
+        EXPECT_TRUE(result.status().IsCancelled())
+            << result.status().ToString();
+      }
+    }
+    ASSERT_EQ(ctx.simulator().device_heap().used(), 0u) << "cycle " << cycle;
+  }
+}
+
+/// Concurrent submitters plus immediate teardown: the destructor fires the
+/// instant the last Submit returns, with nearly every query still in flight.
+/// Every future must settle either way.
+TEST(ChaosTest, ConcurrentSubmittersSurviveImmediateTeardown) {
+  DatabasePtr db = ChaosDb();
+  TablePtr expected = Reference("Q1.1");
+  EngineContext ctx(TestConfig(), db);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    std::vector<std::future<Result<TablePtr>>> futures;
+    std::mutex futures_mutex;
+    {
+      ChoppingExecutor executor(&ctx, 2, 2);
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < 3; ++t) {
+        submitters.emplace_back([&] {
+          for (int i = 0; i < 4; ++i) {
+            auto future = executor.Submit(ChaosPlan("Q1.1"), MakeHypePlacer());
+            std::lock_guard<std::mutex> lock(futures_mutex);
+            futures.push_back(std::move(future));
+          }
+        });
+      }
+      for (std::thread& submitter : submitters) submitter.join();
+      // Destructor races the in-flight queries, not the submitters.
+    }
+    for (auto& future : futures) {
+      Result<TablePtr> result = future.get();
+      if (result.ok()) {
+        EXPECT_TRUE(TablesEqual(*expected, *result.value()));
+      } else {
+        EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+      }
+    }
+  }
+  EXPECT_EQ(ctx.simulator().device_heap().used(), 0u);
+}
+
+}  // namespace
+}  // namespace hetdb

@@ -1,7 +1,5 @@
 #include <gtest/gtest.h>
 
-#include <atomic>
-
 #include "engine/chopping_executor.h"
 #include "engine/query_executor.h"
 #include "placement/compile_time.h"
@@ -170,8 +168,8 @@ TEST_F(ExecutorTest, CpuConsumerOfGpuScanPaysNoCopyBack) {
 }
 
 TEST_F(ExecutorTest, FallbackRestartsAbortedOperatorOnCpu) {
-  ctx_->simulator().device_heap().set_failure_injector(
-      [](size_t) { return true; });
+  ctx_->simulator().fault_injector().SetSchedule(
+      FaultSite::kDeviceAlloc, FaultSchedule::Always(FaultKind::kHeapExhausted));
   PlanNodePtr scan = ScanFact({"v"});
   auto scanned = ExecuteOperator(*scan, {}, ProcessorKind::kCpu, *ctx_);
   ASSERT_TRUE(scanned.ok());
@@ -224,8 +222,8 @@ TEST_F(ExecutorTest, AllPlacementsProduceIdenticalResults) {
 TEST_F(ExecutorTest, CompileTimePlacementSurvivesAborts) {
   // Every device allocation fails: a GPU-only plan must still complete, all
   // operators falling back to the CPU.
-  ctx_->simulator().device_heap().set_failure_injector(
-      [](size_t) { return true; });
+  ctx_->simulator().fault_injector().SetSchedule(
+      FaultSite::kDeviceAlloc, FaultSchedule::Always(FaultKind::kHeapExhausted));
   QueryExecutor executor(ctx_.get());
   PlanNodePtr plan = SimplePlan();
   auto result = executor.Execute(plan, PlaceGpuOnly(plan));
@@ -272,11 +270,10 @@ TEST_F(ExecutorTest, ChoppingHandlesManyConcurrentQueries) {
 }
 
 TEST_F(ExecutorTest, ChoppingSurvivesAllocatorFailures) {
-  std::atomic<int> countdown{5};
-  ctx_->simulator().device_heap().set_failure_injector([&](size_t) {
-    // First five device allocations fail, then the device recovers.
-    return countdown.fetch_sub(1) > 0;
-  });
+  // First five device allocations fail, then the device recovers.
+  ctx_->simulator().fault_injector().SetSchedule(
+      FaultSite::kDeviceAlloc,
+      FaultSchedule::FirstN(FaultKind::kHeapExhausted, 5));
   ChoppingExecutor chopping(ctx_.get(), 2, 2);
   auto result = chopping.ExecuteQuery(SimplePlan(), MakeHypePlacer());
   ASSERT_TRUE(result.ok());

@@ -75,11 +75,20 @@ TEST(DeviceAllocatorTest, MoveTransfersOwnership) {
 }
 
 TEST(DeviceAllocatorTest, FailureInjection) {
-  DeviceAllocator allocator(1000);
-  allocator.set_failure_injector([](size_t bytes) { return bytes > 10; });
+  FaultInjector injector;
+  DeviceAllocator allocator(1000, &injector);
+  FaultSchedule schedule = FaultSchedule::Always(FaultKind::kHeapExhausted);
+  schedule.min_bytes = 11;  // only allocations of more than 10 bytes fault
+  injector.SetSchedule(FaultSite::kDeviceAlloc, schedule);
   EXPECT_TRUE(allocator.Allocate(10, "small").ok());
-  EXPECT_FALSE(allocator.Allocate(11, "large").ok());
-  allocator.set_failure_injector(nullptr);
+  Result<DeviceAllocation> large = allocator.Allocate(11, "large");
+  ASSERT_FALSE(large.ok());
+  EXPECT_TRUE(large.status().IsResourceExhausted());
+  EXPECT_EQ(allocator.failed_allocations(), 1u);
+  EXPECT_EQ(injector.faults_injected(FaultSite::kDeviceAlloc,
+                                     FaultKind::kHeapExhausted),
+            1u);
+  injector.ClearAll();
   EXPECT_TRUE(allocator.Allocate(11, "large again").ok());
 }
 

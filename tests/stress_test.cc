@@ -4,9 +4,6 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-
-#include "common/rng.h"
 #include "placement/strategy_runner.h"
 #include "ssb/ssb_generator.h"
 #include "tests/test_util.h"
@@ -52,12 +49,14 @@ TEST_P(FailureRateTest, ResultsSurviveRandomAllocationFailures) {
     EngineContext ctx(TestConfig(), db);
     StrategyRunner runner(&ctx, strategy);
     runner.RefreshDataPlacement();
-    // Seeded per (rate, strategy) for reproducibility; the injector runs
-    // under the allocator lock, so plain Rng is safe.
-    auto rng = std::make_shared<Rng>(GetParam() * 31 +
-                                     static_cast<int>(strategy));
-    ctx.simulator().device_heap().set_failure_injector(
-        [rng, failure_rate](size_t) { return rng->NextBool(failure_rate); });
+    // Seeded per (rate, strategy) for reproducibility: the injector draws
+    // all randomness from its own seeded Rng under its lock.
+    FaultInjector& injector = ctx.simulator().fault_injector();
+    injector.Reseed(GetParam() * 31 + static_cast<int>(strategy));
+    injector.SetSchedule(
+        FaultSite::kDeviceAlloc,
+        FaultSchedule::WithProbability(FaultKind::kHeapExhausted,
+                                       failure_rate));
 
     Result<NamedQuery> query = SsbQueryByName("Q2.1");
     ASSERT_TRUE(query.ok());
@@ -115,8 +114,13 @@ TEST(StressTest, InjectedFailuresAreCountedAsAborts) {
   DatabasePtr db = StressDb();
   EngineContext ctx(TestConfig(), db);
   StrategyRunner runner(&ctx, Strategy::kGpuOnly);
-  ctx.simulator().device_heap().set_failure_injector(
-      [](size_t) { return true; });
+  // Keep the breaker out of the arithmetic: a tripped breaker would
+  // short-circuit later operators to the CPU without counting an abort.
+  DeviceCircuitBreaker::Options no_trip;
+  no_trip.min_samples = 1 << 20;
+  ctx.breaker().Configure(no_trip);
+  ctx.simulator().fault_injector().SetSchedule(
+      FaultSite::kDeviceAlloc, FaultSchedule::Always(FaultKind::kHeapExhausted));
   Result<NamedQuery> query = SsbQueryByName("Q1.1");
   ASSERT_TRUE(query.ok());
   Result<PlanNodePtr> plan = query->builder(*db);
