@@ -48,9 +48,12 @@ inline void EnableTraceExportAtExit(const std::string& path) {
 ///   --time-scale X   multiply all modeled durations (ratios unchanged)
 ///   --trace-out=FILE record spans and export a Perfetto-loadable
 ///                    Chrome trace-event JSON file at exit
+///   --per-query      print the per-query resource breakdown (queue-wait vs
+///                    execute time, retry/fallback counts) after each point
 struct BenchArgs {
   bool quick = false;
   bool full = false;
+  bool per_query = false;
   double time_scale = 1.0;
   std::string trace_out;
 
@@ -59,6 +62,7 @@ struct BenchArgs {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--quick") == 0) args.quick = true;
       if (std::strcmp(argv[i], "--full") == 0) args.full = true;
+      if (std::strcmp(argv[i], "--per-query") == 0) args.per_query = true;
       if (std::strcmp(argv[i], "--time-scale") == 0 && i + 1 < argc) {
         args.time_scale = std::atof(argv[++i]);
       }
@@ -198,6 +202,7 @@ inline void RunContentionSweep(const BenchArgs& args, const DatabasePtr& db,
   }
   PrintHeader(header);
 
+  std::vector<std::string> per_query_lines;
   for (int users : UserSweep(args)) {
     PrintCell(static_cast<uint64_t>(users));
     for (Strategy strategy : strategies) {
@@ -206,6 +211,11 @@ inline void RunContentionSweep(const BenchArgs& args, const DatabasePtr& db,
       options.num_users = users;
       const WorkloadRunResult result = RunPoint(
           config, db, strategy, ParallelSelectionQueries(), options);
+      if (args.per_query) {
+        per_query_lines.push_back(
+            "# users=" + std::to_string(users) + " strategy=" +
+            StrategyToString(strategy) + "\n" + result.PerQueryToString());
+      }
       for (ContentionMetric metric : metrics) {
         switch (metric) {
           case ContentionMetric::kWallMillis:
@@ -224,6 +234,9 @@ inline void RunContentionSweep(const BenchArgs& args, const DatabasePtr& db,
       }
     }
     EndRow();
+  }
+  for (const std::string& line : per_query_lines) {
+    std::printf("%s\n", line.c_str());
   }
 }
 

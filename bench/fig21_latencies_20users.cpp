@@ -68,5 +68,11 @@ int main(int argc, char** argv) {
     }
     EndRow();
   }
+  if (args.per_query) {
+    for (size_t i = 0; i < modes.size(); ++i) {
+      std::printf("# %s\n%s\n", modes[i].label.c_str(),
+                  results[i].PerQueryToString().c_str());
+    }
+  }
   return 0;
 }

@@ -4,7 +4,8 @@
 //   ./build/examples/sql_shell            # interactive
 //   echo "SELECT ..." | ./build/examples/sql_shell
 //
-// Meta commands: \tables, \cache, \trace SELECT ..., \quit
+// Meta commands: \tables, \cache, \trace SELECT ..., \flight [path], \quit
+// Statements: SELECT ..., EXPLAIN SELECT ..., EXPLAIN ANALYZE SELECT ...
 
 #include <algorithm>
 #include <cstdio>
@@ -15,8 +16,11 @@
 
 #include "common/stopwatch.h"
 #include "placement/strategy_runner.h"
+#include "sql/explain.h"
+#include "sql/parser.h"
 #include "sql/planner.h"
 #include "ssb/ssb_generator.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/trace_recorder.h"
 
 using namespace hetdb;
@@ -154,7 +158,8 @@ int main() {
       "Tables: lineorder, customer, supplier, part, date. Try:\n"
       "  SELECT d_year, sum(lo_revenue) AS revenue FROM lineorder, date\n"
       "  WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year;\n"
-      "Meta: \\tables  \\cache  \\trace SELECT ...  \\quit\n\n");
+      "Statements: SELECT / EXPLAIN SELECT / EXPLAIN ANALYZE SELECT\n"
+      "Meta: \\tables  \\cache  \\trace SELECT ...  \\flight [path]  \\quit\n\n");
 
   std::string line;
   while (true) {
@@ -175,6 +180,24 @@ int main() {
                   ctx.cache().capacity_bytes());
       for (const std::string& key : ctx.cache().CachedKeys()) {
         std::printf("    %s\n", key.c_str());
+      }
+      continue;
+    }
+    if (line.rfind("\\flight", 0) == 0) {
+      std::string path = line.substr(7);
+      const size_t start = path.find_first_not_of(" \t");
+      path = start == std::string::npos ? std::string() : path.substr(start);
+      const std::string jsonl =
+          FlightRecorder::ToJsonl(ctx.flight_recorder().Snapshot());
+      if (path.empty()) {
+        std::printf("%s", jsonl.c_str());
+        std::printf("  -- %lld record(s) in flight recorder\n",
+                    static_cast<long long>(
+                        ctx.flight_recorder().total_recorded()));
+      } else if (ctx.flight_recorder().Dump(path)) {
+        std::printf("flight recorder dumped to %s\n", path.c_str());
+      } else {
+        std::printf("error: cannot write %s\n", path.c_str());
       }
       continue;
     }
@@ -206,9 +229,30 @@ int main() {
       continue;
     }
 
-    Result<PlanNodePtr> plan = PlanSql(line, *db);
+    Result<SqlStatement> parsed = ParseStatement(line);
+    if (!parsed.ok()) {
+      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      continue;
+    }
+    Result<PlanNodePtr> plan = PlanQuery(parsed.value().select, *db);
     if (!plan.ok()) {
       std::printf("error: %s\n", plan.status().ToString().c_str());
+      continue;
+    }
+    if (parsed.value().explain == ExplainMode::kPlan) {
+      std::printf("%s", RenderPlanTree(plan.value()).c_str());
+      continue;
+    }
+    if (parsed.value().explain == ExplainMode::kAnalyze) {
+      QueryStatsPtr stats = MakeQueryStats(plan.value());
+      stats->set_name(line);
+      Result<TablePtr> result = runner.RunQuery(plan.value(), stats);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", stats->ToText().c_str());
+      runner.RefreshDataPlacement();
       continue;
     }
     Stopwatch watch;

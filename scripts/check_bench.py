@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh kernel-benchmark run against the
+committed baseline BENCH_kernels.json.
+
+Absolute kernel times vary wildly across hosts (and CI runners), so the gate
+compares *speedup ratios* — scalar median time / Parallel/8 median time per
+kernel family (Filter, HashJoin, Aggregate) — which are what the morsel
+parallelism work actually promises. A candidate fails when any family's
+speedup drops below (baseline_speedup * (1 - tolerance)).
+
+Usage:
+  scripts/check_bench.py CANDIDATE.json [--baseline BENCH_kernels.json]
+                         [--tolerance 0.5]
+
+Exit code 0 = within tolerance, 1 = regression, 2 = malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+FAMILIES = ["Filter", "HashJoin", "Aggregate"]
+PARALLEL_DOP = 8
+
+
+def load_medians(path):
+    """run_name -> median real_time for all *_median aggregate rows."""
+    try:
+        with open(path) as fp:
+            doc = json.load(fp)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+    medians = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("aggregate_name") != "median":
+            continue
+        medians[bench["run_name"]] = float(bench["real_time"])
+    if not medians:
+        print(f"error: {path} holds no median aggregate rows", file=sys.stderr)
+        sys.exit(2)
+    return medians
+
+
+def family_speedup(medians, family):
+    scalar = medians.get(f"BM_{family}Scalar")
+    parallel = medians.get(f"BM_{family}Parallel/{PARALLEL_DOP}")
+    if scalar is None or parallel is None or parallel <= 0:
+        return None
+    return scalar / parallel
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("candidate", help="fresh benchmark JSON to check")
+    parser.add_argument("--baseline", default="BENCH_kernels.json",
+                        help="committed baseline (default: BENCH_kernels.json)")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed relative speedup drop, 0..1 "
+                             "(default 0.5 — CI runners are noisy)")
+    args = parser.parse_args()
+
+    baseline = load_medians(args.baseline)
+    candidate = load_medians(args.candidate)
+
+    failures = []
+    print(f"{'family':<12}{'baseline':>10}{'candidate':>10}{'floor':>10}")
+    for family in FAMILIES:
+        base = family_speedup(baseline, family)
+        cand = family_speedup(candidate, family)
+        if base is None:
+            print(f"{family:<12}{'n/a':>10}  (missing from baseline, skipped)")
+            continue
+        if cand is None:
+            failures.append(f"{family}: missing from candidate run")
+            print(f"{family:<12}{base:>10.2f}{'n/a':>10}")
+            continue
+        floor = base * (1.0 - args.tolerance)
+        print(f"{family:<12}{base:>10.2f}{cand:>10.2f}{floor:>10.2f}")
+        if cand < floor:
+            failures.append(
+                f"{family}: speedup {cand:.2f}x fell below floor "
+                f"{floor:.2f}x (baseline {base:.2f}x, "
+                f"tolerance {args.tolerance:.0%})")
+
+    if failures:
+        print("\nREGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: all kernel-family speedups within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "telemetry/trace_recorder.h"
 
 namespace hetdb {
@@ -60,6 +61,13 @@ std::future<Result<TablePtr>> ChoppingExecutor::Submit(PlanNodePtr root,
   query->placer = std::move(placer);
   query->controls = std::move(controls);
   query->query_id = Telemetry::NextQueryId();
+  query->stats = query->controls.stats != nullptr ? query->controls.stats
+                                                  : std::make_shared<QueryStats>();
+  if (query->stats->nodes().empty()) {
+    RegisterPlanNodes(query->stats.get(), query->root);
+  }
+  query->stats->set_query_id(query->query_id);
+  query->stats->MarkSubmitted();
   std::future<Result<TablePtr>> future = query->promise.get_future();
 
   {
@@ -86,6 +94,7 @@ std::future<Result<TablePtr>> ChoppingExecutor::Submit(PlanNodePtr root,
       task->query = query;
       task->node = node.get();
       task->parent = parent;
+      task->stats = query->stats->Find(node.get());
       task->pending_children.store(static_cast<int>(node->children().size()),
                                    std::memory_order_relaxed);
       for (const PlanNodePtr& child : node->children()) {
@@ -165,6 +174,7 @@ void ChoppingExecutor::ScheduleTask(const QueryExecPtr& query, OpTask* task) {
           std::to_string(static_cast<int64_t>(task->load_estimate_micros))}});
   }
 
+  task->ready_at = std::chrono::steady_clock::now();
   bool dropped = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -220,9 +230,22 @@ void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
     return;
   }
 
+  if (task->ready_at != std::chrono::steady_clock::time_point{}) {
+    query->stats->OnQueueWait(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - task->ready_at)
+            .count(),
+        task->stats);
+  }
+
   std::vector<OperatorResult*> inputs;
   inputs.reserve(task->children.size());
   for (OpTask* child : task->children) inputs.push_back(&child->result);
+
+  // Attribute everything this worker does for the operator — transfers,
+  // device allocations, cache loads, the root copy-back below — to the
+  // query and its node slot.
+  QueryStatsScope stats_scope(query->stats, task->stats);
 
   TraceSpan span;
   if (TraceRecorder::enabled()) {
@@ -239,8 +262,11 @@ void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
   // chopping pool cannot oversubscribe the machine. Best effort: with no
   // token available the operator still runs (kernels just stay serial).
   DopBudget::Token dop_token(&DopBudget::Global());
+  Stopwatch run_watch;
   Result<ExecutedOperator> executed =
       ExecuteWithFallback(*task->node, inputs, kind, *ctx_);
+  query->stats->OnRun(static_cast<int64_t>(run_watch.ElapsedMicros()),
+                      task->stats);
   if (!executed.ok()) {
     if (span.active()) span.AddArg("error", executed.status().ToString());
     FailQuery(query, executed.status());
@@ -277,6 +303,11 @@ void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
       return;
     }
     ctx_->metrics().RecordQueryDone();
+    query->stats->MarkFinished(/*ok=*/true);
+    ctx_->flight_recorder().RecordQuerySummary(query->query_id,
+                                               query->stats->name(),
+                                               query->stats->SummaryFields());
+    ctx_->NoteQueryFinished();
     query->promise.set_value(task->result.table);
     return;
   }
@@ -293,6 +324,13 @@ void ChoppingExecutor::FailQuery(const QueryExecPtr& query,
                                  const Status& status) {
   query->failed.store(true, std::memory_order_release);
   if (!query->done.exchange(true, std::memory_order_acq_rel)) {
+    if (query->stats != nullptr) {
+      query->stats->MarkFinished(/*ok=*/false, status.ToString());
+      ctx_->flight_recorder().RecordQuerySummary(
+          query->query_id, query->stats->name(),
+          query->stats->SummaryFields());
+      ctx_->NoteQueryFinished();
+    }
     query->promise.set_value(status);
   }
 }

@@ -35,6 +35,10 @@ struct QueryControls {
   CancelToken cancel;
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Per-query resource attribution (EXPLAIN ANALYZE, workload breakdowns).
+  /// Optional: when null the executor creates its own, so flight-recorder
+  /// summaries stay complete; pass one to read the stats back afterwards.
+  QueryStatsPtr stats;
 
   bool has_deadline() const {
     return deadline != std::chrono::steady_clock::time_point::max();
@@ -97,6 +101,9 @@ class ChoppingExecutor {
     OperatorResult result;
     ProcessorKind assigned = ProcessorKind::kCpu;
     double load_estimate_micros = 0;
+    NodeStats* stats = nullptr;  ///< this operator's attribution slot
+    /// When the task entered its ready queue (queue-wait measurement).
+    std::chrono::steady_clock::time_point ready_at{};
   };
 
   struct QueryExec {
@@ -104,6 +111,9 @@ class ChoppingExecutor {
     RuntimePlacer placer;
     QueryControls controls;
     std::promise<Result<TablePtr>> promise;
+    /// Declared before `tasks` so attributed device allocations held by task
+    /// results are destroyed while the stats object is still alive.
+    QueryStatsPtr stats;
     std::vector<std::unique_ptr<OpTask>> tasks;
     std::atomic<bool> failed{false};
     /// Guards the promise: exactly one of {root success, FailQuery} wins.

@@ -11,6 +11,8 @@
 #include "hype/scheduler.h"
 #include "sim/simulator.h"
 #include "storage/database.h"
+#include "telemetry/detector.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace hetdb {
@@ -35,11 +37,18 @@ class EngineContext {
         scheduler_(std::make_unique<HypeScheduler>(
             cost_model_.get(), load_tracker_.get(), simulator_.get())),
         telemetry_(std::make_unique<Telemetry>()),
+        flight_recorder_(std::make_unique<FlightRecorder>()),
+        detector_(std::make_unique<ThrashingDetector>(
+            ThrashingDetector::Options(), &telemetry_->registry(),
+            flight_recorder_.get())),
         breaker_(std::make_unique<DeviceCircuitBreaker>(
-            DeviceCircuitBreaker::Options(), &telemetry_->registry())),
+            DeviceCircuitBreaker::Options(), &telemetry_->registry(),
+            flight_recorder_.get())),
         database_(std::move(database)) {
-    // Fault-injection counters surface in this context's metric exports.
+    // Fault-injection counters surface in this context's metric exports, and
+    // fault episodes land in the flight recorder's post-mortem history.
     simulator_->fault_injector().BindMetrics(&telemetry_->registry());
+    simulator_->fault_injector().BindFlightRecorder(flight_recorder_.get());
   }
 
   EngineContext(const EngineContext&) = delete;
@@ -56,8 +65,34 @@ class EngineContext {
   Telemetry& metrics() { return *telemetry_; }
   /// Abort-storm circuit breaker gating device placement and execution.
   DeviceCircuitBreaker& breaker() { return *breaker_; }
+  /// Always-on ring buffer of recent query summaries and state transitions.
+  FlightRecorder& flight_recorder() { return *flight_recorder_; }
+  /// Live classifier of the paper's heap-contention / cache-thrashing modes.
+  ThrashingDetector& detector() { return *detector_; }
   const DatabasePtr& database() const { return database_; }
   const SystemConfig& config() const { return simulator_->config(); }
+
+  /// Feeds the thrashing detector one observation window from the engine's
+  /// cumulative counters. The executors call this once per finished query.
+  void NoteQueryFinished() {
+    const DataCacheStats cache_stats = cache_->stats();
+    ThrashingDetector::Sample sample;
+    sample.cache_hits = static_cast<int64_t>(cache_stats.hits);
+    sample.cache_misses = static_cast<int64_t>(cache_stats.misses);
+    sample.cache_evictions = static_cast<int64_t>(cache_stats.evictions);
+    sample.gpu_aborts =
+        static_cast<int64_t>(telemetry_->gpu_operator_aborts());
+    // Successes + aborts = device launches attempted.
+    sample.gpu_attempts = sample.gpu_aborts +
+                          static_cast<int64_t>(telemetry_->gpu_operators());
+    sample.failed_allocations =
+        static_cast<int64_t>(simulator_->device_heap().failed_allocations());
+    sample.heap_used_bytes =
+        static_cast<int64_t>(simulator_->device_heap().used());
+    sample.heap_capacity_bytes =
+        static_cast<int64_t>(simulator_->device_heap().capacity());
+    detector_->Update(sample);
+  }
 
   /// Clears all per-run statistics (bus, allocator, cache, metrics) while
   /// keeping cache contents and learned cost models.
@@ -67,6 +102,7 @@ class EngineContext {
     simulator_->fault_injector().ResetStats();
     cache_->ResetStats();
     telemetry_->Reset();
+    detector_->Reset();
   }
 
  private:
@@ -76,7 +112,9 @@ class EngineContext {
   std::unique_ptr<LoadTracker> load_tracker_;
   std::unique_ptr<HypeScheduler> scheduler_;
   std::unique_ptr<Telemetry> telemetry_;
-  std::unique_ptr<DeviceCircuitBreaker> breaker_;  // after telemetry_
+  std::unique_ptr<FlightRecorder> flight_recorder_;  // after telemetry_
+  std::unique_ptr<ThrashingDetector> detector_;      // after flight_recorder_
+  std::unique_ptr<DeviceCircuitBreaker> breaker_;    // after flight_recorder_
   DatabasePtr database_;
 };
 

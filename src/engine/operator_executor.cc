@@ -5,10 +5,41 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "telemetry/query_stats.h"
 
 namespace hetdb {
 
 namespace {
+
+/// Attributes modeled kernel time to the node the calling thread is
+/// executing (no-op outside a QueryStatsScope).
+void AttributeKernelMicros(ProcessorKind processor, double micros) {
+  NodeStats* stats = QueryStatsScope::current_node();
+  if (stats == nullptr) return;
+  auto& counter = processor == ProcessorKind::kGpu ? stats->gpu_kernel_micros
+                                                   : stats->cpu_kernel_micros;
+  counter.fetch_add(static_cast<int64_t>(micros), std::memory_order_relaxed);
+}
+
+/// Stamps node-level outcome fields after a successful execution.
+void AttributeOutcome(const std::vector<OperatorResult*>& inputs,
+                      const OperatorResult& result, ProcessorKind ran_on) {
+  NodeStats* stats = QueryStatsScope::current_node();
+  if (stats == nullptr) return;
+  stats->ran_on.store(ran_on == ProcessorKind::kGpu ? 1 : 0,
+                      std::memory_order_relaxed);
+  int64_t rows_in = 0;
+  for (const OperatorResult* input : inputs) {
+    if (input != nullptr && input->table != nullptr) {
+      rows_in += static_cast<int64_t>(input->table->num_rows());
+    }
+  }
+  stats->rows_in.store(rows_in, std::memory_order_relaxed);
+  if (result.table != nullptr) {
+    stats->rows_out.store(static_cast<int64_t>(result.table->num_rows()),
+                          std::memory_order_relaxed);
+  }
+}
 
 /// CPU execution: marshal device-resident inputs back to the host, run the
 /// kernel, charge modeled CPU time (occupying a CPU slot).
@@ -38,6 +69,10 @@ Result<OperatorResult> ExecuteOnCpu(const PlanNode& node,
     const size_t input_bytes = node.InputBytes(input_tables);
     ctx.simulator().ChargeCompute(ProcessorKind::kCpu, node.op_class(),
                                   input_bytes);
+    AttributeKernelMicros(
+        ProcessorKind::kCpu,
+        ctx.simulator().EstimateComputeMicros(ProcessorKind::kCpu,
+                                              node.op_class(), input_bytes));
     // HyPE learns from *measured* durations (normalized back to modeled
     // units), so the model captures slot contention and queueing that the
     // analytical bootstrap cannot know about.
@@ -101,6 +136,9 @@ Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
         // The load transfer faulted; the column is neither cached nor held.
         return abort_with(access.status);
       }
+      if (QueryStats* stats = QueryStatsScope::current_stats()) {
+        stats->OnCacheAccess(access.hit, QueryStatsScope::current_node());
+      }
       if (access.resident) {
         result.cache_leases.push_back(std::move(access.lease));
         continue;
@@ -157,6 +195,10 @@ Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
   const size_t input_bytes = node.InputBytes(input_tables);
   ctx.simulator().ChargeCompute(ProcessorKind::kGpu, node.op_class(),
                                 input_bytes);
+  AttributeKernelMicros(
+      ProcessorKind::kGpu,
+      ctx.simulator().EstimateComputeMicros(ProcessorKind::kGpu,
+                                            node.op_class(), input_bytes));
   ctx.cost_model().Observe(
       ProcessorKind::kGpu, node.op_class(), input_bytes,
       kernel_watch.ElapsedMicros() / ctx.config().time_scale);
@@ -194,6 +236,11 @@ Result<ExecutedOperator> ExecuteWithFallback(
     const PlanNode& node, const std::vector<OperatorResult*>& inputs,
     ProcessorKind processor, EngineContext& ctx) {
   bool aborted = false;
+  NodeStats* node_stats = QueryStatsScope::current_node();
+  if (node_stats != nullptr) {
+    node_stats->requested.store(processor == ProcessorKind::kGpu ? 1 : 0,
+                                std::memory_order_relaxed);
+  }
   if (processor == ProcessorKind::kGpu) {
     DeviceCircuitBreaker& breaker = ctx.breaker();
     const SystemConfig& config = ctx.config();
@@ -208,6 +255,9 @@ Result<ExecutedOperator> ExecuteWithFallback(
       // outcome; retries re-request admission so half-open probe accounting
       // stays exact.
       for (int attempt = 0;; ++attempt) {
+        if (node_stats != nullptr) {
+          node_stats->attempts.fetch_add(1, std::memory_order_relaxed);
+        }
         Result<OperatorResult> device_try =
             ExecuteOperator(node, inputs, ProcessorKind::kGpu, ctx);
         if (device_try.ok()) {
@@ -216,6 +266,7 @@ Result<ExecutedOperator> ExecuteWithFallback(
           executed.result = std::move(device_try).value();
           executed.ran_on = ProcessorKind::kGpu;
           executed.aborted = false;
+          AttributeOutcome(inputs, executed.result, ProcessorKind::kGpu);
           return executed;
         }
         const Status& status = device_try.status();
@@ -238,9 +289,15 @@ Result<ExecutedOperator> ExecuteWithFallback(
           registry.GetCounter("engine.device_retries").Increment();
           registry.GetHistogram("engine.retry_backoff_us")
               .Record(static_cast<int64_t>(backoff_micros));
+          if (node_stats != nullptr) {
+            node_stats->device_retries.fetch_add(1, std::memory_order_relaxed);
+          }
           continue;
         }
         aborted = true;
+        if (node_stats != nullptr) {
+          node_stats->cpu_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        }
         break;
       }
       // The paper's fault tolerance: restart only the failed operator on the
@@ -248,12 +305,16 @@ Result<ExecutedOperator> ExecuteWithFallback(
       processor = ProcessorKind::kCpu;
     }
   }
+  if (node_stats != nullptr) {
+    node_stats->attempts.fetch_add(1, std::memory_order_relaxed);
+  }
   Result<OperatorResult> run = ExecuteOperator(node, inputs, processor, ctx);
   if (!run.ok()) return run.status();
   ExecutedOperator executed;
   executed.result = std::move(run).value();
   executed.ran_on = processor;
   executed.aborted = aborted;
+  AttributeOutcome(inputs, executed.result, processor);
   return executed;
 }
 

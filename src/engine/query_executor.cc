@@ -1,26 +1,48 @@
 #include "engine/query_executor.h"
 
 #include <future>
+#include <utility>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "telemetry/trace_recorder.h"
 
 namespace hetdb {
 
 Result<TablePtr> QueryExecutor::Execute(const PlanNodePtr& root,
-                                        const PlacementMap& placement) {
+                                        const PlacementMap& placement,
+                                        QueryStatsPtr stats) {
   query_id_ = Telemetry::NextQueryId();
-  HETDB_ASSIGN_OR_RETURN(OperatorResult result,
-                         ExecuteNode(root, placement, /*parent=*/nullptr));
-  ctx_->metrics().RecordQueryDone();
-  // If the final result still lives on the device, the user receives it on
-  // the host: pay the copy-back.
-  if (result.location == ProcessorKind::kGpu && !result.base_data) {
-    HETDB_RETURN_NOT_OK(TransferWithRetry(
-        result.table_bytes(), TransferDirection::kDeviceToHost, *ctx_));
-    result.ReleaseDeviceResources();
+  stats_ = stats != nullptr ? std::move(stats) : std::make_shared<QueryStats>();
+  if (stats_->nodes().empty()) RegisterPlanNodes(stats_.get(), root);
+  stats_->set_query_id(query_id_);
+  stats_->MarkSubmitted();
+
+  Result<TablePtr> outcome = [&]() -> Result<TablePtr> {
+    HETDB_ASSIGN_OR_RETURN(OperatorResult result,
+                           ExecuteNode(root, placement, /*parent=*/nullptr));
+    // If the final result still lives on the device, the user receives it on
+    // the host: pay the copy-back (attributed to the query, no node).
+    if (result.location == ProcessorKind::kGpu && !result.base_data) {
+      QueryStatsScope scope(stats_, nullptr);
+      HETDB_RETURN_NOT_OK(TransferWithRetry(
+          result.table_bytes(), TransferDirection::kDeviceToHost, *ctx_));
+      result.ReleaseDeviceResources();
+    }
+    return result.table;
+  }();
+
+  if (outcome.ok()) {
+    ctx_->metrics().RecordQueryDone();
+    stats_->MarkFinished(/*ok=*/true);
+  } else {
+    stats_->MarkFinished(/*ok=*/false, outcome.status().ToString());
   }
-  return result.table;
+  ctx_->flight_recorder().RecordQuerySummary(query_id_, stats_->name(),
+                                             stats_->SummaryFields());
+  ctx_->NoteQueryFinished();
+  stats_ = nullptr;
+  return outcome;
 }
 
 Result<OperatorResult> QueryExecutor::ExecuteNode(
@@ -64,6 +86,10 @@ Result<OperatorResult> QueryExecutor::ExecuteNode(
   const ProcessorKind processor =
       it != placement.end() ? it->second : ProcessorKind::kCpu;
 
+  // Attribute this operator's transfers, allocations, and cache loads.
+  NodeStats* node_stats = stats_->Find(node.get());
+  QueryStatsScope stats_scope(stats_, node_stats);
+
   TraceSpan span;
   if (TraceRecorder::enabled()) {
     span.Begin(node->label(), "operator");
@@ -72,8 +98,10 @@ Result<OperatorResult> QueryExecutor::ExecuteNode(
                  reinterpret_cast<uint64_t>(parent));
     span.AddArg("requested", ProcessorKindToString(processor));
   }
+  Stopwatch run_watch;
   Result<ExecutedOperator> attempt =
       ExecuteWithFallback(*node, inputs, processor, *ctx_);
+  stats_->OnRun(static_cast<int64_t>(run_watch.ElapsedMicros()), node_stats);
   if (!attempt.ok()) {
     if (span.active()) span.AddArg("error", attempt.status().ToString());
     return attempt.status();

@@ -29,8 +29,12 @@ class QueryExecutor {
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
   /// Executes the plan; nodes missing from `placement` run on the CPU.
+  /// `stats` (optional) receives per-query/per-node resource attribution;
+  /// when null the executor creates its own so flight-recorder summaries
+  /// stay complete.
   Result<TablePtr> Execute(const PlanNodePtr& root,
-                           const PlacementMap& placement);
+                           const PlacementMap& placement,
+                           QueryStatsPtr stats = nullptr);
 
  private:
   Result<OperatorResult> ExecuteNode(const PlanNodePtr& node,
@@ -38,7 +42,8 @@ class QueryExecutor {
                                      const PlanNode* parent);
 
   EngineContext* ctx_;
-  uint64_t query_id_ = 0;  ///< stamps this query's trace spans
+  uint64_t query_id_ = 0;   ///< stamps this query's trace spans
+  QueryStatsPtr stats_;     ///< attribution target of the running query
 };
 
 }  // namespace hetdb

@@ -18,8 +18,9 @@ DeviceCircuitBreaker::DeviceCircuitBreaker()
     : DeviceCircuitBreaker(Options(), nullptr) {}
 
 DeviceCircuitBreaker::DeviceCircuitBreaker(const Options& options,
-                                           MetricRegistry* registry)
-    : options_(options), registry_(registry) {
+                                           MetricRegistry* registry,
+                                           FlightRecorder* recorder)
+    : options_(options), registry_(registry), recorder_(recorder) {
   window_.assign(static_cast<size_t>(options_.window), false);
 }
 
@@ -50,6 +51,7 @@ void DeviceCircuitBreaker::TransitionLocked(State next) {
     window_.assign(window_.size(), false);
     window_next_ = window_count_ = window_aborts_ = 0;
   }
+  const State prev = state_;
   state_ = next;
   if (registry_ != nullptr) {
     registry_->GetGauge("breaker.state").Set(static_cast<int>(state_));
@@ -58,6 +60,13 @@ void DeviceCircuitBreaker::TransitionLocked(State next) {
                      BreakerStateToString(state_))
         .Increment();
     if (next == State::kOpen) registry_->GetCounter("breaker.trips").Increment();
+  }
+  if (recorder_ != nullptr) {
+    recorder_->RecordStateTransition("breaker", BreakerStateToString(prev),
+                                     BreakerStateToString(next));
+    // The trip is the post-mortem moment: freeze the recent history now,
+    // while the queries that drove the abort storm are still in the ring.
+    if (next == State::kOpen) recorder_->AutoDump("breaker_trip");
   }
 }
 

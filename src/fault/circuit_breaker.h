@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metric_registry.h"
 
 namespace hetdb {
@@ -61,8 +62,12 @@ class DeviceCircuitBreaker {
   };
 
   DeviceCircuitBreaker();  // default options, no metrics
+  /// `recorder` (optional) receives every state transition; a trip to kOpen
+  /// additionally triggers an automatic flight-recorder dump so the ring's
+  /// history around the abort storm is preserved.
   explicit DeviceCircuitBreaker(const Options& options,
-                                MetricRegistry* registry = nullptr);
+                                MetricRegistry* registry = nullptr,
+                                FlightRecorder* recorder = nullptr);
 
   DeviceCircuitBreaker(const DeviceCircuitBreaker&) = delete;
   DeviceCircuitBreaker& operator=(const DeviceCircuitBreaker&) = delete;
@@ -109,6 +114,7 @@ class DeviceCircuitBreaker {
   uint64_t trips_ = 0;
   uint64_t denials_ = 0;
   MetricRegistry* registry_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 const char* BreakerStateToString(DeviceCircuitBreaker::State state);

@@ -67,6 +67,9 @@ void FaultInjector::SetOfflineSchedule(const OfflineSchedule& schedule) {
 void FaultInjector::ForceOffline(int duration_events) {
   std::lock_guard<std::mutex> lock(mutex_);
   offline_remaining_ = duration_events;
+  if (duration_events > 0) {
+    NoteOfflineEpisodeLocked("forced", duration_events);
+  }
   RefreshEnabled();
 }
 
@@ -121,6 +124,8 @@ FaultDecision FaultInjector::Decide(FaultSite site, size_t bytes) {
       offline_schedule_.duration_events > 0 &&
       rng_.NextBool(offline_schedule_.start_probability)) {
     offline_remaining_ = offline_schedule_.duration_events - 1;
+    NoteOfflineEpisodeLocked("probabilistic",
+                             offline_schedule_.duration_events);
     CountFault(site, FaultKind::kDeviceLost);
     return FaultDecision{FaultKind::kDeviceLost, 1.0};
   }
@@ -164,6 +169,22 @@ bool FaultInjector::offline() const {
 void FaultInjector::BindMetrics(MetricRegistry* registry) {
   std::lock_guard<std::mutex> lock(mutex_);
   registry_ = registry;
+}
+
+void FaultInjector::BindFlightRecorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  recorder_ = recorder;
+}
+
+void FaultInjector::NoteOfflineEpisodeLocked(const char* origin,
+                                             int duration_events) {
+  if (recorder_ == nullptr) return;
+  // An offline episode is the chaos escalation worth a post-mortem: the
+  // whole device disappears for `duration_events` consultations.
+  recorder_->RecordFault(
+      "device_offline",
+      {{"origin", origin}, {"duration_events", std::to_string(duration_events)}});
+  recorder_->AutoDump("device_offline");
 }
 
 void FaultInjector::ResetStats() {

@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metric_registry.h"
 
 namespace hetdb {
@@ -158,6 +159,11 @@ class FaultInjector {
   /// `fault.injected.<site>.<kind>` counters (pass nullptr to detach).
   void BindMetrics(MetricRegistry* registry);
 
+  /// Mirrors fault *escalations* — device-offline episode starts — into the
+  /// flight recorder, each triggering an automatic dump (pass nullptr to
+  /// detach).
+  void BindFlightRecorder(FlightRecorder* recorder);
+
   void ResetStats();
 
  private:
@@ -165,6 +171,8 @@ class FaultInjector {
 
   void RefreshEnabled();  // caller holds mutex_
   void CountFault(FaultSite site, FaultKind kind);  // caller holds mutex_
+  /// Records an offline-episode start and auto-dumps; caller holds mutex_.
+  void NoteOfflineEpisodeLocked(const char* origin, int duration_events);
 
   mutable std::mutex mutex_;
   std::atomic<bool> enabled_{false};
@@ -177,6 +185,7 @@ class FaultInjector {
   std::atomic<uint64_t> total_faults_{0};
   std::atomic<uint64_t> counts_[kNumFaultSites][kNumKinds] = {};
   MetricRegistry* registry_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace hetdb

@@ -262,4 +262,28 @@ void VisitPlanPostOrder(const PlanNodePtr& root,
   fn(root);
 }
 
+namespace {
+
+void RegisterPlanNodesImpl(QueryStats* stats, const PlanNodePtr& node,
+                           const PlanNode* parent) {
+  stats->AddNode(node.get(), parent, PlanOpToString(node->op()),
+                 node->label());
+  for (const PlanNodePtr& child : node->children()) {
+    RegisterPlanNodesImpl(stats, child, node.get());
+  }
+}
+
+}  // namespace
+
+void RegisterPlanNodes(QueryStats* stats, const PlanNodePtr& root) {
+  if (stats == nullptr || root == nullptr) return;
+  RegisterPlanNodesImpl(stats, root, nullptr);
+}
+
+QueryStatsPtr MakeQueryStats(const PlanNodePtr& root) {
+  auto stats = std::make_shared<QueryStats>();
+  RegisterPlanNodes(stats.get(), root);
+  return stats;
+}
+
 }  // namespace hetdb

@@ -12,6 +12,7 @@
 #include "operators/kernels.h"
 #include "sim/simulator.h"
 #include "storage/table.h"
+#include "telemetry/query_stats.h"
 
 namespace hetdb {
 
@@ -217,6 +218,15 @@ size_t CountPlanNodes(const PlanNodePtr& root);
 /// Post-order traversal (children before parents).
 void VisitPlanPostOrder(const PlanNodePtr& root,
                         const std::function<void(const PlanNodePtr&)>& fn);
+
+/// Registers every node of `root` in `stats`, pre-order (parents before
+/// children), keyed by node address; attribution sites then find their slot
+/// with `stats->Find(node.get())`.
+void RegisterPlanNodes(QueryStats* stats, const PlanNodePtr& root);
+
+/// Fresh QueryStats with `root`'s nodes registered — the executors call this
+/// when the caller did not supply stats of its own.
+QueryStatsPtr MakeQueryStats(const PlanNodePtr& root);
 
 }  // namespace hetdb
 

@@ -73,8 +73,15 @@ StrategyRunner::StrategyRunner(EngineContext* ctx, Strategy strategy)
 }
 
 Result<TablePtr> StrategyRunner::RunQuery(const PlanNodePtr& root) {
+  return RunQuery(root, nullptr);
+}
+
+Result<TablePtr> StrategyRunner::RunQuery(const PlanNodePtr& root,
+                                          QueryStatsPtr stats) {
   if (chopping_ != nullptr) {
-    return chopping_->ExecuteQuery(root, placer_);
+    QueryControls controls;
+    controls.stats = std::move(stats);
+    return chopping_->ExecuteQuery(root, placer_, std::move(controls));
   }
   PlacementMap placement;
   switch (strategy_) {
@@ -94,7 +101,7 @@ Result<TablePtr> StrategyRunner::RunQuery(const PlanNodePtr& root) {
       return Status::Internal("runtime strategy without executor");
   }
   QueryExecutor executor(ctx_);
-  return executor.Execute(root, placement);
+  return executor.Execute(root, placement, std::move(stats));
 }
 
 void StrategyRunner::RefreshDataPlacement() {

@@ -25,6 +25,12 @@ class StrategyRunner {
   /// Runs one query to completion and returns the host-resident result.
   Result<TablePtr> RunQuery(const PlanNodePtr& root);
 
+  /// Same, attributing resources to `stats` (EXPLAIN ANALYZE, per-query
+  /// workload breakdowns). Register the plan's nodes first with
+  /// MakeQueryStats(root), or pass an empty QueryStats and the executor
+  /// registers them itself.
+  Result<TablePtr> RunQuery(const PlanNodePtr& root, QueryStatsPtr stats);
+
   Strategy strategy() const { return strategy_; }
   EngineContext& ctx() { return *ctx_; }
 

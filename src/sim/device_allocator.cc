@@ -5,9 +5,11 @@ namespace hetdb {
 void DeviceAllocation::Release() {
   if (allocator_ != nullptr && bytes_ > 0) {
     allocator_->Free(bytes_);
+    if (stats_ != nullptr) stats_->OnHeapFreed(static_cast<int64_t>(bytes_));
   }
   allocator_ = nullptr;
   bytes_ = 0;
+  stats_ = nullptr;
 }
 
 Result<DeviceAllocation> DeviceAllocator::Allocate(size_t bytes,
@@ -35,7 +37,15 @@ Result<DeviceAllocation> DeviceAllocator::Allocate(size_t bytes,
   if (now > peak_used_.load(std::memory_order_relaxed)) {
     peak_used_.store(now, std::memory_order_relaxed);
   }
-  return DeviceAllocation(this, bytes);
+  // Attribute to the query whose scope this thread is executing under. The
+  // observed global usage is exact here because we still hold mutex_.
+  QueryStatsPtr stats = QueryStatsScope::current_stats_shared();
+  if (stats != nullptr) {
+    stats->OnHeapAllocated(static_cast<int64_t>(bytes),
+                           static_cast<int64_t>(now),
+                           QueryStatsScope::current_node());
+  }
+  return DeviceAllocation(this, bytes, std::move(stats));
 }
 
 void DeviceAllocator::Free(size_t bytes) {

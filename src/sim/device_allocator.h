@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "fault/fault_injector.h"
+#include "telemetry/query_stats.h"
 
 namespace hetdb {
 
@@ -15,11 +16,17 @@ class DeviceAllocator;
 
 /// RAII handle for a device heap allocation. Releasing (or destroying) the
 /// handle returns the bytes to the allocator. Move-only.
+///
+/// When the allocation was made inside a QueryStatsScope it carries a
+/// shared_ptr to that query's stats, so the free side stays attributable
+/// even for allocations the data cache keeps alive long after the query
+/// finished.
 class DeviceAllocation {
  public:
   DeviceAllocation() = default;
-  DeviceAllocation(DeviceAllocator* allocator, size_t bytes)
-      : allocator_(allocator), bytes_(bytes) {}
+  DeviceAllocation(DeviceAllocator* allocator, size_t bytes,
+                   QueryStatsPtr stats = nullptr)
+      : allocator_(allocator), bytes_(bytes), stats_(std::move(stats)) {}
   ~DeviceAllocation() { Release(); }
 
   DeviceAllocation(const DeviceAllocation&) = delete;
@@ -30,6 +37,7 @@ class DeviceAllocation {
       Release();
       allocator_ = other.allocator_;
       bytes_ = other.bytes_;
+      stats_ = std::move(other.stats_);
       other.allocator_ = nullptr;
       other.bytes_ = 0;
     }
@@ -45,6 +53,7 @@ class DeviceAllocation {
  private:
   DeviceAllocator* allocator_ = nullptr;
   size_t bytes_ = 0;
+  QueryStatsPtr stats_;
 };
 
 /// Byte-exact accounting allocator for the co-processor's heap.

@@ -1,5 +1,6 @@
 #include "sim/pcie_bus.h"
 
+#include "telemetry/query_stats.h"
 #include "telemetry/trace_recorder.h"
 
 namespace hetdb {
@@ -74,6 +75,13 @@ Status PcieBus::Transfer(size_t bytes, TransferDirection direction,
   micros_[lane].fetch_add(static_cast<int64_t>(micros),
                           std::memory_order_relaxed);
   count_[lane].fetch_add(1, std::memory_order_relaxed);
+  // Per-query attribution mirrors the global counters above exactly: only
+  // successful transfers are charged, on the same thread and lane index.
+  if (QueryStats* stats = QueryStatsScope::current_stats()) {
+    stats->OnTransfer(lane, static_cast<int64_t>(bytes),
+                      static_cast<int64_t>(micros),
+                      QueryStatsScope::current_node());
+  }
   return Status::OK();
 }
 

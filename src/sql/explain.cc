@@ -1,0 +1,45 @@
+#include "sql/explain.h"
+
+#include <sstream>
+
+#include "telemetry/exporters.h"
+
+namespace hetdb {
+
+namespace {
+
+void RenderTextNode(const PlanNodePtr& node, int depth, std::ostream& os) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << node->label() << '\n';
+  for (const PlanNodePtr& child : node->children()) {
+    RenderTextNode(child, depth + 1, os);
+  }
+}
+
+void RenderJsonNode(const PlanNodePtr& node, std::ostream& os) {
+  os << "{\"op\":\"" << PlanOpToString(node->op()) << "\",\"label\":\""
+     << JsonEscape(node->label()) << "\",\"children\":[";
+  bool first = true;
+  for (const PlanNodePtr& child : node->children()) {
+    if (!first) os << ',';
+    first = false;
+    RenderJsonNode(child, os);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string RenderPlanTree(const PlanNodePtr& root) {
+  std::ostringstream os;
+  RenderTextNode(root, 0, os);
+  return os.str();
+}
+
+std::string RenderPlanJson(const PlanNodePtr& root) {
+  std::ostringstream os;
+  RenderJsonNode(root, os);
+  return os.str();
+}
+
+}  // namespace hetdb

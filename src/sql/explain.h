@@ -1,0 +1,28 @@
+#ifndef HETDB_SQL_EXPLAIN_H_
+#define HETDB_SQL_EXPLAIN_H_
+
+#include <string>
+
+#include "operators/plan_node.h"
+
+namespace hetdb {
+
+/// Renders the physical plan as an indented operator tree (plain `EXPLAIN`):
+///
+///   sort(d_year)
+///     aggregate(sum_revenue by d_year)
+///       join(lo_orderdate = d_datekey)
+///         ...
+///
+/// The post-execution annotated form (`EXPLAIN ANALYZE`) is rendered by
+/// QueryStats::ToText()/ToJson() instead — it carries the measured
+/// per-operator rows, kernel time, placement, PCIe bytes, and heap use.
+std::string RenderPlanTree(const PlanNodePtr& root);
+
+/// Same tree as a JSON object (`{"op":..,"label":..,"children":[...]}`) for
+/// tooling that consumes EXPLAIN output programmatically.
+std::string RenderPlanJson(const PlanNodePtr& root);
+
+}  // namespace hetdb
+
+#endif  // HETDB_SQL_EXPLAIN_H_

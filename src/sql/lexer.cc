@@ -13,6 +13,7 @@ const std::unordered_set<std::string>& Keywords() {
       "SELECT", "FROM",  "WHERE",  "GROUP", "BY",    "ORDER",  "LIMIT",
       "AND",    "OR",    "AS",     "ASC",   "DESC",  "BETWEEN", "IN",
       "SUM",    "COUNT", "MIN",    "MAX",   "AVG",   "NOT",
+      "EXPLAIN", "ANALYZE",
   };
   return *keywords;
 }

@@ -284,4 +284,23 @@ Result<SelectStatement> ParseSelect(const std::string& sql) {
   return parser.Parse();
 }
 
+Result<SqlStatement> ParseStatement(const std::string& sql) {
+  HETDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  SqlStatement statement;
+  size_t skip = 0;
+  if (!tokens.empty() && tokens[0].IsKeyword("EXPLAIN")) {
+    skip = 1;
+    statement.explain = ExplainMode::kPlan;
+    if (tokens.size() > 1 && tokens[1].IsKeyword("ANALYZE")) {
+      skip = 2;
+      statement.explain = ExplainMode::kAnalyze;
+    }
+  }
+  tokens.erase(tokens.begin(),
+               tokens.begin() + static_cast<std::ptrdiff_t>(skip));
+  Parser parser(std::move(tokens));
+  HETDB_ASSIGN_OR_RETURN(statement.select, parser.Parse());
+  return statement;
+}
+
 }  // namespace hetdb

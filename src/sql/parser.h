@@ -13,6 +13,24 @@ namespace hetdb {
 /// reduced to their column part — HetDB column names are globally unique.
 Result<SelectStatement> ParseSelect(const std::string& sql);
 
+/// Introspection prefix of a statement: none (plain SELECT), `EXPLAIN`
+/// (render the plan without running it), `EXPLAIN ANALYZE` (run the query
+/// and annotate the plan with per-operator resource attribution).
+enum class ExplainMode {
+  kNone,
+  kPlan,
+  kAnalyze,
+};
+
+/// A full statement: optional EXPLAIN [ANALYZE] prefix plus the SELECT.
+struct SqlStatement {
+  ExplainMode explain = ExplainMode::kNone;
+  SelectStatement select;
+};
+
+/// Parses `[EXPLAIN [ANALYZE]] SELECT ...`.
+Result<SqlStatement> ParseStatement(const std::string& sql);
+
 }  // namespace hetdb
 
 #endif  // HETDB_SQL_PARSER_H_

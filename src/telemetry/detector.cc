@@ -1,0 +1,158 @@
+#include "telemetry/detector.h"
+
+#include <algorithm>
+
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_recorder.h"
+
+namespace hetdb {
+
+const char* ThrashingDetector::StateName(State state) {
+  switch (state) {
+    case State::kCalm:
+      return "calm";
+    case State::kPressure:
+      return "pressure";
+    case State::kThrashing:
+      return "thrashing";
+  }
+  return "unknown";
+}
+
+ThrashingDetector::ThrashingDetector(const Options& options,
+                                     MetricRegistry* registry,
+                                     FlightRecorder* recorder)
+    : options_(options), registry_(registry), recorder_(recorder) {
+  if (registry_ != nullptr) {
+    registry_->GetGauge("thrash.state").Set(0);
+  }
+}
+
+ThrashingDetector::State ThrashingDetector::Update(const Sample& sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!has_previous_) {
+    previous_ = sample;
+    has_previous_ = true;
+    return state_;
+  }
+
+  const int64_t d_hits = sample.cache_hits - previous_.cache_hits;
+  const int64_t d_misses = sample.cache_misses - previous_.cache_misses;
+  const int64_t d_evictions =
+      sample.cache_evictions - previous_.cache_evictions;
+  const int64_t d_aborts = sample.gpu_aborts - previous_.gpu_aborts;
+  const int64_t d_attempts = sample.gpu_attempts - previous_.gpu_attempts;
+  const int64_t d_failed_allocs =
+      sample.failed_allocations - previous_.failed_allocations;
+  previous_ = sample;
+
+  Signals signals;
+  if (sample.heap_capacity_bytes > 0) {
+    signals.heap_pressure = static_cast<double>(sample.heap_used_bytes) /
+                            static_cast<double>(sample.heap_capacity_bytes);
+  }
+  const int64_t accesses = d_hits + d_misses;
+  if (accesses > 0) {
+    signals.eviction_churn =
+        static_cast<double>(d_evictions) / static_cast<double>(accesses);
+  }
+  if (d_attempts > 0) {
+    signals.abort_ratio =
+        static_cast<double>(d_aborts) / static_cast<double>(d_attempts);
+  }
+  signals.heap_signal = signals.heap_pressure >=
+                            options_.heap_pressure_threshold ||
+                        d_failed_allocs > 0;
+  // Cold-start gate on *cumulative* accesses: per-window counts can be tiny
+  // (the fig-2 workload touches one column per query), but churn across those
+  // small windows is exactly the thrashing pattern to catch.
+  const int64_t total_accesses = sample.cache_hits + sample.cache_misses;
+  signals.churn_signal = accesses > 0 &&
+                         total_accesses >= options_.min_cache_accesses &&
+                         signals.eviction_churn >=
+                             options_.eviction_churn_threshold;
+  signals.abort_signal =
+      d_attempts > 0 && signals.abort_ratio >= options_.abort_ratio_threshold;
+  last_signals_ = signals;
+
+  const int firing = (signals.heap_signal ? 1 : 0) +
+                     (signals.churn_signal ? 1 : 0) +
+                     (signals.abort_signal ? 1 : 0);
+  State observed = State::kCalm;
+  if (firing >= 2 || signals.abort_signal) {
+    observed = State::kThrashing;
+  } else if (firing == 1) {
+    observed = State::kPressure;
+  }
+
+  // Streak hysteresis: escalate only after `escalate_updates` consecutive
+  // windows at or above a higher state; de-escalate (one level at a time)
+  // only after `calm_updates` consecutive windows strictly below the
+  // current state.
+  if (observed > state_) {
+    calm_streak_ = 0;
+    if (++escalate_streak_ >= options_.escalate_updates) {
+      TransitionLocked(observed);
+      escalate_streak_ = 0;
+    }
+  } else if (observed < state_) {
+    escalate_streak_ = 0;
+    if (++calm_streak_ >= options_.calm_updates) {
+      TransitionLocked(static_cast<State>(static_cast<int>(state_) - 1));
+      calm_streak_ = 0;
+    }
+  } else {
+    escalate_streak_ = 0;
+    calm_streak_ = 0;
+  }
+  return state_;
+}
+
+void ThrashingDetector::TransitionLocked(State next) {
+  const State prev = state_;
+  state_ = next;
+  ++transitions_;
+  if (registry_ != nullptr) {
+    registry_->GetGauge("thrash.state").Set(static_cast<int64_t>(next));
+    registry_->GetCounter("thrash.transitions").Increment();
+  }
+  if (recorder_ != nullptr) {
+    recorder_->RecordStateTransition("thrash_detector", StateName(prev),
+                                     StateName(next));
+  }
+  if (TraceRecorder::enabled()) {
+    RecordInstantEvent("thrash.state", "engine", 0,
+                       {{"from", StateName(prev)}, {"to", StateName(next)}});
+  }
+}
+
+ThrashingDetector::State ThrashingDetector::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+ThrashingDetector::Signals ThrashingDetector::last_signals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_signals_;
+}
+
+int64_t ThrashingDetector::transitions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return transitions_;
+}
+
+void ThrashingDetector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kCalm;
+  has_previous_ = false;
+  previous_ = Sample{};
+  last_signals_ = Signals{};
+  escalate_streak_ = 0;
+  calm_streak_ = 0;
+  if (registry_ != nullptr) {
+    registry_->GetGauge("thrash.state").Set(0);
+  }
+}
+
+}  // namespace hetdb

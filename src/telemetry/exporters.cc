@@ -69,6 +69,21 @@ std::string JsonEscape(const std::string& text) {
   return escaped;
 }
 
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string escaped;
+  escaped.reserve(field.size() + 2);
+  escaped += '"';
+  for (const char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
 std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -122,13 +137,14 @@ std::string MetricsCsv(const MetricRegistry& registry) {
   std::ostringstream os;
   os << "kind,name,count,sum,min,max,mean,p50,p95,p99\n";
   for (const auto& [name, value] : registry.CounterValues()) {
-    os << "counter," << name << ",," << value << ",,,,,,\n";
+    os << "counter," << CsvEscape(name) << ",," << value << ",,,,,,\n";
   }
   for (const auto& [name, value] : registry.GaugeValues()) {
-    os << "gauge," << name << ",," << value << ",,,,,,\n";
+    os << "gauge," << CsvEscape(name) << ",," << value << ",,,,,,\n";
   }
   for (const auto& [name, snapshot] : registry.HistogramSnapshots()) {
-    os << "histogram," << name << ',' << snapshot.count << ',' << snapshot.sum
+    os << "histogram," << CsvEscape(name) << ',' << snapshot.count << ','
+       << snapshot.sum
        << ',' << snapshot.min << ',' << snapshot.max << ',' << snapshot.mean
        << ',' << snapshot.p50 << ',' << snapshot.p95 << ',' << snapshot.p99
        << '\n';

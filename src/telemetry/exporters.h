@@ -34,6 +34,11 @@ Status WriteTextFile(const std::string& path, const std::string& content);
 /// Escapes a string for embedding in a JSON string literal (no quotes added).
 std::string JsonEscape(const std::string& text);
 
+/// RFC 4180 CSV field escaping: fields containing commas, quotes, or
+/// newlines are wrapped in double quotes with inner quotes doubled; all
+/// other fields pass through unchanged.
+std::string CsvEscape(const std::string& field);
+
 }  // namespace hetdb
 
 #endif  // HETDB_TELEMETRY_EXPORTERS_H_

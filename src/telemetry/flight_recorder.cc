@@ -1,0 +1,147 @@
+#include "telemetry/flight_recorder.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/exporters.h"
+
+namespace hetdb {
+
+const char* FlightRecordKindName(FlightRecord::Kind kind) {
+  switch (kind) {
+    case FlightRecord::Kind::kQuerySummary:
+      return "query_summary";
+    case FlightRecord::Kind::kStateTransition:
+      return "state_transition";
+    case FlightRecord::Kind::kFault:
+      return "fault";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+int64_t FlightRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void FlightRecorder::Record(FlightRecord record) {
+  record.ts_micros = NowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.sequence = next_sequence_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[record.sequence % capacity_] = std::move(record);
+  }
+}
+
+void FlightRecorder::RecordQuerySummary(
+    uint64_t query_id, const std::string& name,
+    std::vector<std::pair<std::string, std::string>> fields) {
+  FlightRecord record;
+  record.kind = FlightRecord::Kind::kQuerySummary;
+  record.query_id = query_id;
+  record.name = name;
+  record.fields = std::move(fields);
+  Record(std::move(record));
+}
+
+void FlightRecorder::RecordStateTransition(const std::string& component,
+                                           const std::string& from,
+                                           const std::string& to) {
+  FlightRecord record;
+  record.kind = FlightRecord::Kind::kStateTransition;
+  record.name = component;
+  record.fields = {{"from", from}, {"to", to}};
+  Record(std::move(record));
+}
+
+void FlightRecorder::RecordFault(
+    const std::string& site,
+    std::vector<std::pair<std::string, std::string>> fields) {
+  FlightRecord record;
+  record.kind = FlightRecord::Kind::kFault;
+  record.name = site;
+  record.fields = std::move(fields);
+  Record(std::move(record));
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FlightRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // The ring is full: the oldest record lives at next_sequence_ % capacity_.
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_sequence_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_sequence_;
+}
+
+std::string FlightRecorder::ToJsonl(const std::vector<FlightRecord>& records) {
+  std::ostringstream os;
+  for (const FlightRecord& record : records) {
+    os << "{\"seq\":" << record.sequence << ",\"ts_us\":" << record.ts_micros
+       << ",\"kind\":\"" << FlightRecordKindName(record.kind) << "\"";
+    if (record.query_id != 0) os << ",\"query_id\":" << record.query_id;
+    os << ",\"name\":\"" << JsonEscape(record.name) << "\"";
+    for (const auto& [key, value] : record.fields) {
+      os << ",\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+bool FlightRecorder::Dump(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << ToJsonl(Snapshot());
+  return static_cast<bool>(out);
+}
+
+void FlightRecorder::SetAutoDumpPath(std::string path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto_dump_path_ = std::move(path);
+  auto_dump_count_ = 0;
+}
+
+std::string FlightRecorder::AutoDump(const std::string& reason) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto_dump_path_.empty()) return "";
+    path = auto_dump_path_;
+    if (auto_dump_count_ > 0) {
+      path += '.';
+      path += std::to_string(auto_dump_count_);
+    }
+    ++auto_dump_count_;
+  }
+  // Tag the dump with its trigger before writing, so the reason is part of
+  // the JSONL history itself.
+  FlightRecord record;
+  record.kind = FlightRecord::Kind::kStateTransition;
+  record.name = "flight_recorder";
+  record.fields = {{"event", "auto_dump"}, {"reason", reason}};
+  Record(std::move(record));
+  if (!Dump(path)) return "";
+  return path;
+}
+
+}  // namespace hetdb

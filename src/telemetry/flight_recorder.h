@@ -1,0 +1,94 @@
+#ifndef HETDB_TELEMETRY_FLIGHT_RECORDER_H_
+#define HETDB_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hetdb {
+
+/// One entry in the flight recorder: a finished query's summary, an engine
+/// state transition (circuit breaker, fault-injector episodes, detector
+/// escalations), or a fault event.
+struct FlightRecord {
+  enum class Kind { kQuerySummary, kStateTransition, kFault };
+
+  Kind kind = Kind::kStateTransition;
+  int64_t ts_micros = 0;   ///< since recorder construction (monotonic)
+  uint64_t sequence = 0;   ///< global record order (total, gap-free)
+  uint64_t query_id = 0;   ///< 0 when not query-scoped
+  std::string name;        ///< query name / component / fault site
+  /// Flat key/value payload, serialized in the given (deterministic) order.
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+const char* FlightRecordKindName(FlightRecord::Kind kind);
+
+/// Always-on ring buffer of recent engine history ("flight recorder").
+///
+/// Writers append under a mutex held only for a swap into the ring — no
+/// allocation and no I/O inside the lock beyond moving the record — so it is
+/// cheap enough to leave enabled in every run. When something goes wrong
+/// (circuit breaker trips, a chaos fault escalates to a device-offline
+/// episode) the engine calls AutoDump() and the last `capacity` records are
+/// written as JSONL for post-mortem analysis; `\flight` in the SQL shell and
+/// Dump() expose the same snapshot on demand.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends a record, stamping ts_micros and sequence. Evicts the oldest
+  /// record once the ring is full.
+  void Record(FlightRecord record);
+
+  // Convenience constructors for the three record kinds.
+  void RecordQuerySummary(
+      uint64_t query_id, const std::string& name,
+      std::vector<std::pair<std::string, std::string>> fields);
+  void RecordStateTransition(const std::string& component,
+                             const std::string& from, const std::string& to);
+  void RecordFault(const std::string& site,
+                   std::vector<std::pair<std::string, std::string>> fields);
+
+  /// Records currently in the ring, oldest first.
+  std::vector<FlightRecord> Snapshot() const;
+  /// Total records ever written (>= Snapshot().size()).
+  uint64_t total_recorded() const;
+  size_t capacity() const { return capacity_; }
+
+  /// One JSON object per line, oldest first; deterministic field order.
+  static std::string ToJsonl(const std::vector<FlightRecord>& records);
+  /// Writes Snapshot() as JSONL to `path`. Returns false on I/O failure.
+  bool Dump(const std::string& path) const;
+
+  /// Arms automatic dumps: when AutoDump(reason) fires, the snapshot is
+  /// written to `path` (suffixed with a dump ordinal so successive dumps
+  /// don't clobber each other: "<path>" then "<path>.1", "<path>.2", ...).
+  /// An empty path disarms.
+  void SetAutoDumpPath(std::string path);
+  /// Dumps to the armed path, tagging the dump with `reason`. No-op when
+  /// disarmed. Returns the path written, or "" when disarmed/failed.
+  std::string AutoDump(const std::string& reason);
+
+ private:
+  int64_t NowMicros() const;
+
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::vector<FlightRecord> ring_;  // ring_[seq % capacity_]
+  uint64_t next_sequence_ = 0;
+  std::string auto_dump_path_;
+  uint64_t auto_dump_count_ = 0;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_TELEMETRY_FLIGHT_RECORDER_H_

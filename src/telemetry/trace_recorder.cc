@@ -51,9 +51,16 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
     std::lock_guard<std::mutex> lock(buffer->mutex);
     events.insert(events.end(), buffer->events.begin(), buffer->events.end());
   }
+  // Total deterministic order — tie-break equal timestamps by thread, name,
+  // and duration — so exported traces from identical runs diff cleanly.
   std::stable_sort(events.begin(), events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
-                     return a.ts_micros < b.ts_micros;
+                     if (a.ts_micros != b.ts_micros) {
+                       return a.ts_micros < b.ts_micros;
+                     }
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.dur_micros < b.dur_micros;
                    });
   return events;
 }

@@ -26,6 +26,19 @@ std::string WorkloadRunResult::ToString() const {
   return os.str();
 }
 
+std::string WorkloadRunResult::PerQueryToString() const {
+  std::ostringstream os;
+  os << "per-query breakdown (mean per execution):";
+  for (const auto& [name, stats] : latency_stats_by_query) {
+    os << "\n  " << name << ": n=" << stats.count
+       << " latency=" << stats.mean_ms << "ms queue_wait="
+       << stats.queue_wait_ms << "ms execute=" << stats.execute_ms
+       << "ms retries=" << stats.device_retries
+       << " cpu_fallbacks=" << stats.cpu_fallbacks;
+  }
+  return os.str();
+}
+
 WorkloadRunResult RunWorkload(StrategyRunner& runner,
                               const std::vector<NamedQuery>& queries,
                               const WorkloadRunOptions& options) {
@@ -69,6 +82,17 @@ WorkloadRunResult RunWorkload(StrategyRunner& runner,
         "workload.latency_us." + query.name);
   }
 
+  // Per-query-name resource accumulators, fed by the attribution layer
+  // (QueryStats). Populated before the threads start, updated lock-free.
+  struct ResourceAccum {
+    std::atomic<int64_t> queue_wait_micros{0};
+    std::atomic<int64_t> run_micros{0};
+    std::atomic<int64_t> device_retries{0};
+    std::atomic<int64_t> cpu_fallbacks{0};
+  };
+  std::map<std::string, ResourceAccum> resource_accums;
+  for (const NamedQuery& query : queries) resource_accums[query.name];
+
   const int num_users = std::max(1, options.num_users);
   std::vector<uint64_t> session_failed(num_users, 0);
   std::vector<std::thread> sessions;
@@ -87,8 +111,10 @@ WorkloadRunResult RunWorkload(StrategyRunner& runner,
           continue;
         }
         admission.Acquire();
+        QueryStatsPtr stats = MakeQueryStats(plan.value());
+        stats->set_name(query.name);
         Stopwatch latency;
-        Result<TablePtr> result = runner.RunQuery(plan.value());
+        Result<TablePtr> result = runner.RunQuery(plan.value(), stats);
         const int64_t micros = latency.ElapsedMicros();
         admission.Release();
         if (!result.ok()) {
@@ -96,6 +122,15 @@ WorkloadRunResult RunWorkload(StrategyRunner& runner,
           continue;
         }
         latency_histograms.at(query.name)->Record(micros);
+        ResourceAccum& accum = resource_accums.at(query.name);
+        accum.queue_wait_micros.fetch_add(stats->queue_wait_micros(),
+                                          std::memory_order_relaxed);
+        accum.run_micros.fetch_add(stats->run_micros(),
+                                   std::memory_order_relaxed);
+        accum.device_retries.fetch_add(stats->device_retries(),
+                                       std::memory_order_relaxed);
+        accum.cpu_fallbacks.fetch_add(stats->cpu_fallbacks(),
+                                      std::memory_order_relaxed);
       }
     });
   }
@@ -134,6 +169,15 @@ WorkloadRunResult RunWorkload(StrategyRunner& runner,
     stats.p95_ms = static_cast<double>(snapshot.p95) / 1000.0;
     stats.p99_ms = static_cast<double>(snapshot.p99) / 1000.0;
     stats.max_ms = static_cast<double>(snapshot.max) / 1000.0;
+    const ResourceAccum& accum = resource_accums.at(name);
+    const double n = static_cast<double>(snapshot.count);
+    stats.queue_wait_ms =
+        static_cast<double>(accum.queue_wait_micros.load()) / n / 1000.0;
+    stats.execute_ms =
+        static_cast<double>(accum.run_micros.load()) / n / 1000.0;
+    stats.device_retries =
+        static_cast<uint64_t>(accum.device_retries.load());
+    stats.cpu_fallbacks = static_cast<uint64_t>(accum.cpu_fallbacks.load());
     result.latency_stats_by_query[name] = stats;
     result.latency_ms_by_query[name] = stats.mean_ms;
   }

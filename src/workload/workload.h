@@ -39,6 +39,13 @@ struct QueryLatencyStats {
   double p95_ms = 0;
   double p99_ms = 0;
   double max_ms = 0;
+  /// Per-query resource breakdown (from the attribution layer): where the
+  /// latency went — waiting in executor queues vs. actually running — and
+  /// how often the fault path was taken.
+  double queue_wait_ms = 0;     ///< mean ready-queue wait per execution
+  double execute_ms = 0;        ///< mean operator run time per execution
+  uint64_t device_retries = 0;  ///< total GPU retry attempts
+  uint64_t cpu_fallbacks = 0;   ///< total GPU abort -> CPU reroutes
 };
 
 /// Aggregated measurements of one workload run.
@@ -61,6 +68,9 @@ struct WorkloadRunResult {
   std::map<std::string, QueryLatencyStats> latency_stats_by_query;
 
   std::string ToString() const;
+  /// One line per query name: queue-wait vs. execute means, retry and CPU
+  /// fallback counts (bench binaries print this under --per-query).
+  std::string PerQueryToString() const;
 };
 
 /// Executes `queries` x repetitions under `runner`'s strategy with

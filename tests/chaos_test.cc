@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -372,6 +373,62 @@ TEST(ChaosTest, BreakerRecoversViaHalfOpenProbes) {
     EXPECT_TRUE(TablesEqual(*expected, *result.value()));
   }
   EXPECT_EQ(ctx.breaker().state(), DeviceCircuitBreaker::State::kClosed);
+}
+
+/// Tripping the breaker must automatically dump the flight recorder as
+/// parseable JSONL: the post-mortem story (query summaries, the abort storm,
+/// the closed->open transition, the dump reason) with no manual step.
+TEST(ChaosTest, BreakerTripDumpsFlightRecorderJsonl) {
+  DatabasePtr db = ChaosDb();
+  EngineContext ctx(TestConfig(), db);
+  ctx.breaker().Configure(SmallBreaker());
+  const std::string dump_path =
+      ::testing::TempDir() + "/hetdb_chaos_flight.jsonl";
+  ctx.flight_recorder().SetAutoDumpPath(dump_path);
+
+  StrategyRunner runner(&ctx, Strategy::kGpuOnly);
+  ctx.simulator().fault_injector().SetSchedule(
+      FaultSite::kDeviceAlloc,
+      FaultSchedule::Always(FaultKind::kHeapExhausted));
+  for (int round = 0; round < 2; ++round) {
+    Result<TablePtr> result = runner.RunQuery(ChaosPlan("Q1.1"));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  ASSERT_GE(ctx.breaker().trips(), 1u);
+
+  std::FILE* file = std::fopen(dump_path.c_str(), "r");
+  ASSERT_NE(file, nullptr) << "breaker trip did not write " << dump_path;
+  std::string content;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, read);
+  }
+  std::fclose(file);
+  std::remove(dump_path.c_str());
+
+  // Every line is one JSON object with the fixed header fields.
+  ASSERT_FALSE(content.empty());
+  ASSERT_EQ(content.back(), '\n');
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < content.size()) {
+    const size_t end = content.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = content.substr(start, end - start);
+    EXPECT_EQ(line.find("{\"seq\":"), 0u) << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"kind\":\""), std::string::npos) << line;
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_GE(lines, 2u);
+  // The dump carries the breaker transition and names its own trigger.
+  EXPECT_NE(content.find("\"name\":\"breaker\""), std::string::npos)
+      << content;
+  EXPECT_NE(content.find("\"to\":\"open\""), std::string::npos) << content;
+  EXPECT_NE(content.find("\"reason\":\"breaker_trip\""), std::string::npos)
+      << content;
 }
 
 // ---------------------------------------------------------------------------

@@ -111,6 +111,38 @@ TEST(ParserTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseSelect("SELECT sum(a FROM t").ok());
 }
 
+TEST(ParserTest, ParseStatementWithoutExplainIsPlain) {
+  auto parsed = ParseStatement("SELECT lo_revenue FROM lineorder");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().explain, ExplainMode::kNone);
+  ASSERT_EQ(parsed.value().select.items.size(), 1u);
+  EXPECT_EQ(parsed.value().select.items[0].expr.column, "lo_revenue");
+}
+
+TEST(ParserTest, ParseStatementRecognizesExplain) {
+  auto parsed = ParseStatement(
+      "EXPLAIN SELECT lo_revenue FROM lineorder WHERE lo_tax > 5");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().explain, ExplainMode::kPlan);
+  // The wrapped select parses the same as the bare statement.
+  ASSERT_EQ(parsed.value().select.where.size(), 1u);
+  EXPECT_EQ(parsed.value().select.where[0].column, "lo_tax");
+}
+
+TEST(ParserTest, ParseStatementRecognizesExplainAnalyze) {
+  auto parsed = ParseStatement(
+      "explain analyze select lo_revenue from lineorder");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().explain, ExplainMode::kAnalyze);
+  EXPECT_EQ(parsed.value().select.items[0].expr.column, "lo_revenue");
+}
+
+TEST(ParserTest, ParseStatementRejectsBareExplain) {
+  EXPECT_FALSE(ParseStatement("EXPLAIN").ok());
+  EXPECT_FALSE(ParseStatement("EXPLAIN ANALYZE").ok());
+  EXPECT_FALSE(ParseStatement("EXPLAIN nonsense").ok());
+}
+
 // --- Planner + end-to-end ------------------------------------------------------
 
 class SqlEndToEndTest : public ::testing::Test {

@@ -6,7 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/detector.h"
 #include "telemetry/exporters.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/histogram.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/telemetry.h"
@@ -497,6 +499,259 @@ TEST(ExportersTest, MetricsJsonIsValidAndComplete) {
   EXPECT_NE(csv.find("counter,engine.gpu_operators"), std::string::npos);
   EXPECT_NE(csv.find("histogram,workload.latency_us.Q1.1,100"),
             std::string::npos);
+}
+
+TEST(ExportersTest, CsvEscapeQuotesSpecialFields) {
+  EXPECT_EQ(CsvEscape("plain_name"), "plain_name");
+  EXPECT_EQ(CsvEscape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(CsvEscape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(CsvEscape("has\nnewline"), "\"has\nnewline\"");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(ExportersTest, MetricsCsvEscapesMetricNames) {
+  MetricRegistry registry;
+  registry.GetCounter("weird,metric\"name").Increment(1);
+  const std::string csv = MetricsCsv(registry);
+  // Counter rows leave the histogram-only columns empty; the value lands in
+  // the "sum" column.
+  EXPECT_NE(csv.find("counter,\"weird,metric\"\"name\",,1"), std::string::npos)
+      << csv;
+}
+
+TEST(ExportersTest, TraceSnapshotOrderIsDeterministic) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  // Spans whose begin timestamps may collide (coarse clocks): the snapshot
+  // must still order them stably so exported dumps diff cleanly.
+  { TraceSpan a("b_span", "test"); }
+  { TraceSpan b("a_span", "test"); }
+  { TraceSpan c("a_span", "test"); }
+  recorder.SetEnabled(false);
+  const std::vector<TraceEvent> first = recorder.Snapshot();
+  const std::vector<TraceEvent> second = recorder.Snapshot();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].name, second[i].name);
+    EXPECT_EQ(first[i].ts_micros, second[i].ts_micros);
+    EXPECT_EQ(first[i].dur_micros, second[i].dur_micros);
+  }
+  for (size_t i = 1; i < first.size(); ++i) {
+    const bool ordered =
+        first[i - 1].ts_micros < first[i].ts_micros ||
+        (first[i - 1].ts_micros == first[i].ts_micros &&
+         (first[i - 1].tid < first[i].tid ||
+          (first[i - 1].tid == first[i].tid &&
+           first[i - 1].name <= first[i].name)));
+    EXPECT_TRUE(ordered) << "unstable order at " << i;
+  }
+  recorder.Clear();
+}
+
+// -----------------------------------------------------------------------------
+// Flight recorder
+// -----------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, RecordsSnapshotOldestFirst) {
+  FlightRecorder recorder(8);
+  recorder.RecordStateTransition("breaker", "closed", "open");
+  recorder.RecordQuerySummary(42, "Q1.1", {{"status", "ok"}});
+  recorder.RecordFault("device_offline", {{"origin", "forced"}});
+
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].kind, FlightRecord::Kind::kStateTransition);
+  EXPECT_EQ(records[1].kind, FlightRecord::Kind::kQuerySummary);
+  EXPECT_EQ(records[1].query_id, 42u);
+  EXPECT_EQ(records[2].kind, FlightRecord::Kind::kFault);
+  EXPECT_LT(records[0].sequence, records[1].sequence);
+  EXPECT_LE(records[0].ts_micros, records[1].ts_micros);
+}
+
+TEST(FlightRecorderTest, RingKeepsOnlyTheMostRecentRecords) {
+  FlightRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.RecordQuerySummary(static_cast<uint64_t>(i), "q", {});
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-first window over the last four records (queries 6..9).
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].query_id, 6 + i);
+  }
+}
+
+TEST(FlightRecorderTest, ToJsonlIsParseablePerLine) {
+  FlightRecorder recorder(8);
+  recorder.RecordQuerySummary(7, "sel(\"x\")", {{"status", "ok"},
+                                               {"h2d_bytes", "4096"}});
+  recorder.RecordStateTransition("thrash_detector", "calm", "pressure");
+  const std::string jsonl = FlightRecorder::ToJsonl(recorder.Snapshot());
+
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    const size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "missing trailing newline";
+    lines.push_back(jsonl.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    JsonValidator validator(line);
+    EXPECT_TRUE(validator.Validate()) << line;
+    EXPECT_EQ(line.find("{\"seq\":"), 0u) << line;
+    EXPECT_NE(line.find("\"ts_us\":"), std::string::npos);
+    EXPECT_NE(line.find("\"kind\":"), std::string::npos);
+  }
+  EXPECT_NE(lines[0].find("\"kind\":\"query_summary\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"query_id\":7"), std::string::npos);
+  EXPECT_NE(lines[0].find("\\\"x\\\""), std::string::npos);  // escaped name
+  EXPECT_NE(lines[1].find("\"from\":\"calm\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"to\":\"pressure\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, AutoDumpWritesNumberedFiles) {
+  FlightRecorder recorder(8);
+  EXPECT_EQ(recorder.AutoDump("unarmed"), "");  // disarmed: no-op
+
+  const std::string base = ::testing::TempDir() + "/hetdb_flight_test.jsonl";
+  recorder.SetAutoDumpPath(base);
+  recorder.RecordQuerySummary(1, "q", {{"status", "ok"}});
+  const std::string first = recorder.AutoDump("breaker_trip");
+  EXPECT_EQ(first, base);
+  const std::string second = recorder.AutoDump("breaker_trip");
+  EXPECT_EQ(second, base + ".1");
+
+  std::FILE* file = std::fopen(first.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string content;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, read);
+  }
+  std::fclose(file);
+  // The dump closes with the reason record explaining why it was taken.
+  EXPECT_NE(content.find("\"event\":\"auto_dump\""), std::string::npos);
+  EXPECT_NE(content.find("\"reason\":\"breaker_trip\""), std::string::npos);
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+// -----------------------------------------------------------------------------
+// Thrashing detector (synthetic samples)
+// -----------------------------------------------------------------------------
+
+ThrashingDetector::Sample CalmSample(int64_t step) {
+  ThrashingDetector::Sample sample;
+  sample.cache_hits = 100 * step;
+  sample.cache_misses = step;
+  sample.cache_evictions = 0;
+  sample.gpu_aborts = 0;
+  sample.gpu_attempts = 10 * step;
+  sample.heap_used_bytes = 10;
+  sample.heap_capacity_bytes = 100;
+  return sample;
+}
+
+TEST(ThrashingDetectorTest, EscalatesAfterStreakAndPublishesGauge) {
+  MetricRegistry registry;
+  FlightRecorder recorder(16);
+  ThrashingDetector::Options options;
+  options.escalate_updates = 2;
+  options.calm_updates = 2;
+  ThrashingDetector detector(options, &registry, &recorder);
+
+  // Window 1 establishes the baseline; churn + heap pressure afterwards.
+  ThrashingDetector::Sample sample = CalmSample(1);
+  detector.Update(sample);
+  for (int step = 2; step <= 3; ++step) {
+    sample.cache_hits += 1;
+    sample.cache_misses += 10;
+    sample.cache_evictions += 10;  // churn ~0.9 per window
+    sample.heap_used_bytes = 95;   // 95% of capacity
+    EXPECT_EQ(detector.Update(sample), step == 2
+                                           ? ThrashingDetector::State::kCalm
+                                           : ThrashingDetector::State::kThrashing);
+  }
+  EXPECT_EQ(registry.GetGauge("thrash.state").value(), 2);
+  EXPECT_EQ(registry.GetCounter("thrash.transitions").value(), 1);
+  EXPECT_TRUE(detector.last_signals().churn_signal);
+  EXPECT_TRUE(detector.last_signals().heap_signal);
+
+  // Calm windows de-escalate one level at a time, after `calm_updates` each.
+  sample.heap_used_bytes = 10;
+  for (int i = 0; i < 2; ++i) {
+    sample.cache_hits += 100;
+    detector.Update(sample);
+  }
+  EXPECT_EQ(detector.state(), ThrashingDetector::State::kPressure);
+  for (int i = 0; i < 2; ++i) {
+    sample.cache_hits += 100;
+    detector.Update(sample);
+  }
+  EXPECT_EQ(detector.state(), ThrashingDetector::State::kCalm);
+  EXPECT_EQ(registry.GetGauge("thrash.state").value(), 0);
+
+  // Every transition left a post-mortem record.
+  int transitions = 0;
+  for (const FlightRecord& record : recorder.Snapshot()) {
+    if (record.kind == FlightRecord::Kind::kStateTransition) ++transitions;
+  }
+  EXPECT_EQ(transitions, 3);
+}
+
+TEST(ThrashingDetectorTest, AbortStormAloneMeansThrashing) {
+  ThrashingDetector::Options options;
+  options.escalate_updates = 1;
+  ThrashingDetector detector(options, nullptr, nullptr);
+  ThrashingDetector::Sample sample = CalmSample(1);
+  detector.Update(sample);
+  sample.cache_hits += 100;
+  sample.gpu_attempts += 10;
+  sample.gpu_aborts += 8;  // 80% abort ratio
+  EXPECT_EQ(detector.Update(sample), ThrashingDetector::State::kThrashing);
+  EXPECT_TRUE(detector.last_signals().abort_signal);
+}
+
+TEST(ThrashingDetectorTest, SingleNoisyWindowDoesNotFlip) {
+  ThrashingDetector::Options options;
+  options.escalate_updates = 2;
+  ThrashingDetector detector(options, nullptr, nullptr);
+  ThrashingDetector::Sample sample = CalmSample(1);
+  detector.Update(sample);
+  // One bad window...
+  sample.cache_misses += 10;
+  sample.cache_evictions += 10;
+  EXPECT_EQ(detector.Update(sample), ThrashingDetector::State::kCalm);
+  // ...followed by a calm one: the escalate streak resets.
+  sample.cache_hits += 100;
+  EXPECT_EQ(detector.Update(sample), ThrashingDetector::State::kCalm);
+  sample.cache_misses += 10;
+  sample.cache_evictions += 10;
+  EXPECT_EQ(detector.Update(sample), ThrashingDetector::State::kCalm);
+  EXPECT_EQ(detector.transitions(), 0);
+}
+
+TEST(ThrashingDetectorTest, ResetReturnsToCalmAndForgetsHistory) {
+  MetricRegistry registry;
+  ThrashingDetector::Options options;
+  options.escalate_updates = 1;
+  ThrashingDetector detector(options, &registry, nullptr);
+  ThrashingDetector::Sample sample = CalmSample(1);
+  detector.Update(sample);
+  sample.gpu_attempts += 10;
+  sample.gpu_aborts += 10;
+  ASSERT_EQ(detector.Update(sample), ThrashingDetector::State::kThrashing);
+  detector.Reset();
+  EXPECT_EQ(detector.state(), ThrashingDetector::State::kCalm);
+  EXPECT_EQ(registry.GetGauge("thrash.state").value(), 0);
+  // The first post-reset window only re-baselines.
+  sample.cache_hits += 1;
+  EXPECT_EQ(detector.Update(sample), ThrashingDetector::State::kCalm);
 }
 
 }  // namespace

@@ -152,5 +152,33 @@ TEST(WorkloadResultTest, ToStringMentionsKeyFields) {
   EXPECT_NE(text.find("aborts=3"), std::string::npos);
 }
 
+TEST(WorkloadResultTest, PerQueryBreakdownIsPopulatedAndPrinted) {
+  DatabasePtr db = SmallSsbDb();
+  EngineContext ctx(TestConfig(), db);
+  StrategyRunner runner(&ctx, Strategy::kGpuOnly);
+  WorkloadRunOptions options;
+  options.repetitions = 2;
+  options.warmup_repetitions = 1;
+  WorkloadRunResult result =
+      RunWorkload(runner, SerialSelectionQueries(), options);
+  ASSERT_EQ(result.latency_stats_by_query.size(), 8u);
+  double total_execute_ms = 0;
+  for (const auto& [name, stats] : result.latency_stats_by_query) {
+    EXPECT_EQ(stats.count, 2u) << name;
+    EXPECT_GE(stats.execute_ms, 0.0) << name;
+    EXPECT_GE(stats.queue_wait_ms, 0.0) << name;
+    EXPECT_EQ(stats.device_retries, 0u) << name;
+    EXPECT_EQ(stats.cpu_fallbacks, 0u) << name;
+    total_execute_ms += stats.execute_ms;
+  }
+  // The attribution layer fed the breakdown: operators actually ran.
+  EXPECT_GT(total_execute_ms, 0.0);
+  const std::string text = result.PerQueryToString();
+  EXPECT_NE(text.find("per-query breakdown"), std::string::npos);
+  EXPECT_NE(text.find("queue_wait="), std::string::npos);
+  EXPECT_NE(text.find("execute="), std::string::npos);
+  EXPECT_NE(text.find("cpu_fallbacks="), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hetdb
