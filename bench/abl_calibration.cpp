@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   const double sf = args.quick ? 2 : 10;
 
   SsbGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateSsbDatabase(gen);
 

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
                "compressed_h2d[ms]"});
   for (double sf : scale_factors) {
     SsbGeneratorOptions gen;
+    args.ApplySeed(gen);
     gen.scale_factor = sf;
     DatabasePtr db = GenerateSsbDatabase(gen);
     WorkloadRunOptions options;

@@ -50,11 +50,18 @@ inline void EnableTraceExportAtExit(const std::string& path) {
 ///                    Chrome trace-event JSON file at exit
 ///   --per-query      print the per-query resource breakdown (queue-wait vs
 ///                    execute time, retry/fallback counts) after each point
+///   --seed N         override every RNG seed in the run — data generators
+///                    and user-session jitter streams (0 = keep the baked-in
+///                    defaults: SSB 42, TPC-H 1234, sessions 42)
+///   --think-time MS  mean exponential per-session think time for the
+///                    parallel-user benches (0 = closed loop, the default)
 struct BenchArgs {
   bool quick = false;
   bool full = false;
   bool per_query = false;
   double time_scale = 1.0;
+  uint64_t seed = 0;
+  double think_time_ms = 0;
   std::string trace_out;
 
   static BenchArgs Parse(int argc, char** argv) {
@@ -66,6 +73,14 @@ struct BenchArgs {
       if (std::strcmp(argv[i], "--time-scale") == 0 && i + 1 < argc) {
         args.time_scale = std::atof(argv[++i]);
       }
+      if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+        args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        args.seed = std::strtoull(argv[++i], nullptr, 10);
+      }
+      if (std::strcmp(argv[i], "--think-time") == 0 && i + 1 < argc) {
+        args.think_time_ms = std::atof(argv[++i]);
+      }
       if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
         args.trace_out = argv[i] + 12;
       } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
@@ -74,6 +89,20 @@ struct BenchArgs {
     }
     if (!args.trace_out.empty()) EnableTraceExportAtExit(args.trace_out);
     return args;
+  }
+
+  /// Copies the --seed override into a generator-options struct (SSB or
+  /// TPC-H); 0 keeps the generator's own default so existing baselines stay
+  /// bit-identical.
+  template <typename GeneratorOptions>
+  void ApplySeed(GeneratorOptions& gen) const {
+    if (seed != 0) gen.seed = seed;
+  }
+
+  /// Folds the session knobs (--seed, --think-time) into workload options.
+  void ApplySessionKnobs(WorkloadRunOptions& options) const {
+    if (seed != 0) options.seed = seed;
+    options.think_time_ms = think_time_ms;
   }
 };
 

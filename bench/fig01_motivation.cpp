@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
              ": CPU vs GPU (cold cache) vs GPU (hot cache)");
 
   SsbGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateSsbDatabase(gen);
   const SystemConfig config = PaperConfig(args.time_scale);

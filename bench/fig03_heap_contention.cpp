@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const int total_queries = args.quick ? 24 : (args.full ? 100 : 48);
 
   SsbGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateSsbDatabase(gen);
 

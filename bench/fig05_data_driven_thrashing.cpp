@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const int reps = args.quick ? 4 : 8;
 
   SsbGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateSsbDatabase(gen);
 

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const int total_queries = args.quick ? 24 : 48;
 
   SsbGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateSsbDatabase(gen);
 

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
 
   for (double sf : scale_factors) {
     SsbGeneratorOptions gen;
+    args.ApplySeed(gen);
     gen.scale_factor = sf;
     DatabasePtr db = GenerateSsbDatabase(gen);
 

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
 
   for (double sf : scale_factors) {
     TpchGeneratorOptions gen;
+    args.ApplySeed(gen);
     gen.scale_factor = sf;
     DatabasePtr db = GenerateTpchDatabase(gen);
 

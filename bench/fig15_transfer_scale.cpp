@@ -28,10 +28,12 @@ void RunSweep(const BenchArgs& args, bool ssb) {
     DatabasePtr db;
     if (ssb) {
       SsbGeneratorOptions gen;
+      args.ApplySeed(gen);
       gen.scale_factor = sf;
       db = GenerateSsbDatabase(gen);
     } else {
       TpchGeneratorOptions gen;
+      args.ApplySeed(gen);
       gen.scale_factor = sf;
       db = GenerateTpchDatabase(gen);
     }

@@ -43,9 +43,11 @@ int main(int argc, char** argv) {
   PrintHeader({"sf", "ssb[MiB]", "tpch[MiB]", "cache[MiB]"});
   for (double sf : {5, 10, 15, 20, 25, 30}) {
     SsbGeneratorOptions ssb_gen;
+    args.ApplySeed(ssb_gen);
     ssb_gen.scale_factor = sf;
     DatabasePtr ssb_db = GenerateSsbDatabase(ssb_gen);
     TpchGeneratorOptions tpch_gen;
+    args.ApplySeed(tpch_gen);
     tpch_gen.scale_factor = sf;
     DatabasePtr tpch_db = GenerateTpchDatabase(tpch_gen);
     PrintCell(static_cast<uint64_t>(sf));

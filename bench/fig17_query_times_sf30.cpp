@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
              std::to_string(static_cast<int>(sf)));
 
   SsbGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateSsbDatabase(gen);
 

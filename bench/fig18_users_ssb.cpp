@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
              std::to_string(reps * 13) + " queries total)");
 
   SsbGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateSsbDatabase(gen);
 
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
       options.repetitions = reps;
       options.num_users = user_count;
       options.warmup_repetitions = 1;
+      args.ApplySessionKnobs(options);
       const WorkloadRunResult result = RunPoint(
           PaperConfig(args.time_scale), db, strategy, SsbQueries(), options);
       PrintCell(result.wall_millis);

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
              std::to_string(static_cast<int>(sf)) + ")");
 
   TpchGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateTpchDatabase(gen);
 
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
       WorkloadRunOptions options;
       options.repetitions = reps;
       options.num_users = user_count;
+      args.ApplySessionKnobs(options);
       options.warmup_repetitions = 1;
       const WorkloadRunResult result = RunPoint(
           PaperConfig(args.time_scale), db, strategy, TpchQueries(), options);

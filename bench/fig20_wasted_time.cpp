@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
          "(SF " + std::to_string(static_cast<int>(sf)) + ")");
 
   SsbGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateSsbDatabase(gen);
 

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
              "; 'Admission' = GPU Only with one query admitted at a time");
 
   SsbGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateSsbDatabase(gen);
 
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
     options.repetitions = args.quick ? 2 : 5;
     options.num_users = users;
     options.admission_limit = mode.admission_limit;
+    args.ApplySessionKnobs(options);
     results.push_back(RunPoint(PaperConfig(args.time_scale), db, mode.strategy,
                                SsbQueries(), options));
   }

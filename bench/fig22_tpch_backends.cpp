@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
              std::to_string(static_cast<int>(sf)) + ", single user)");
 
   TpchGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateTpchDatabase(gen);
 

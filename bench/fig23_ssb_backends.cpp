@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
              std::to_string(static_cast<int>(sf)) + ", single user)");
 
   SsbGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateSsbDatabase(gen);
 

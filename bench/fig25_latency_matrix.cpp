@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
              ", Data-Driven Chopping)");
 
   SsbGeneratorOptions gen;
+  args.ApplySeed(gen);
   gen.scale_factor = sf;
   DatabasePtr db = GenerateSsbDatabase(gen);
 

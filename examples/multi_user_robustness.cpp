@@ -4,7 +4,8 @@
 // heap (aborts, wasted time, bus traffic); Data-Driven Chopping stays
 // robust. Prints a side-by-side comparison.
 //
-//   ./build/examples/multi_user_robustness [users]   (default 16)
+//   ./build/examples/multi_user_robustness [users] [think_ms] [seed]
+//   (defaults: 16 users, no think time, seed 42)
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +17,8 @@ using namespace hetdb;
 
 int main(int argc, char** argv) {
   const int users = argc > 1 ? std::atoi(argv[1]) : 16;
+  const double think_ms = argc > 2 ? std::atof(argv[2]) : 0;
+  const uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
 
   SsbGeneratorOptions gen;
   gen.scale_factor = 5.0;
@@ -31,6 +34,8 @@ int main(int argc, char** argv) {
   WorkloadRunOptions options;
   options.repetitions = 2;
   options.num_users = users;
+  options.think_time_ms = think_ms;  // sessions share the user_sim loop
+  options.seed = seed;
 
   std::printf("%-22s %10s %9s %8s %11s %12s\n", "strategy", "time[ms]",
               "aborts", "wasted", "h2d[ms]", "gpu/cpu ops");

@@ -1,10 +1,13 @@
-// Interactive SQL shell over an SSB database, executed with the robust
-// Data-Driven Chopping strategy on the simulated co-processor.
+// Interactive SQL shell over an SSB database — a client of the serving
+// front-end: every statement goes through a Session into the admission
+// controller (fair queueing, concurrency governor, SLO shedding) before the
+// Data-Driven Chopping strategy executes it on the simulated co-processor.
 //
 //   ./build/examples/sql_shell            # interactive
 //   echo "SELECT ..." | ./build/examples/sql_shell
 //
-// Meta commands: \tables, \cache, \trace SELECT ..., \flight [path], \quit
+// Meta commands: \tables, \cache, \server, \deadline MS,
+//                \trace SELECT ..., \flight [path], \quit
 // Statements: SELECT ..., EXPLAIN SELECT ..., EXPLAIN ANALYZE SELECT ...
 
 #include <algorithm>
@@ -15,7 +18,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
-#include "placement/strategy_runner.h"
+#include "server/server.h"
 #include "sql/explain.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
@@ -152,14 +155,28 @@ int main() {
   config.device_cache_bytes = 10ull << 20;
   config.time_scale = 1.0;
   EngineContext ctx(config, db);
-  StrategyRunner runner(&ctx, Strategy::kDataDrivenChopping);
+  Server server(&ctx);  // Data-Driven Chopping behind admission control
+  SessionPtr session = server.OpenSession("shell");
 
   std::printf(
       "Tables: lineorder, customer, supplier, part, date. Try:\n"
       "  SELECT d_year, sum(lo_revenue) AS revenue FROM lineorder, date\n"
       "  WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year;\n"
       "Statements: SELECT / EXPLAIN SELECT / EXPLAIN ANALYZE SELECT\n"
-      "Meta: \\tables  \\cache  \\trace SELECT ...  \\flight [path]  \\quit\n\n");
+      "Meta: \\tables  \\cache  \\server  \\deadline MS\n"
+      "      \\trace SELECT ...  \\flight [path]  \\quit\n\n");
+
+  // Per-statement SLO budget (\deadline); 0 = none. Queries the admission
+  // controller cannot serve in time are shed before touching the device.
+  long deadline_ms = 0;
+  auto submit_options = [&deadline_ms] {
+    SubmitOptions options;
+    if (deadline_ms > 0) {
+      options.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(deadline_ms);
+    }
+    return options;
+  };
 
   std::string line;
   while (true) {
@@ -172,6 +189,30 @@ int main() {
       for (const TablePtr& table : db->tables()) {
         std::printf("  %s (%zu rows, %zu columns)\n", table->name().c_str(),
                     table->num_rows(), table->num_columns());
+      }
+      continue;
+    }
+    if (line == "\\server") {
+      AdmissionController& admission = server.admission();
+      std::printf(
+          "  admission: limit=%d in_flight=%d queued=%zu\n"
+          "  offered=%llu shed=%llu ewma_service=%.2fms\n"
+          "  detector=%s breaker=%d\n",
+          admission.concurrency_limit(), admission.in_flight(),
+          admission.queued(),
+          static_cast<unsigned long long>(admission.offered()),
+          static_cast<unsigned long long>(admission.shed_total()),
+          admission.ewma_service_micros() / 1000.0,
+          ThrashingDetector::StateName(ctx.detector().state()),
+          static_cast<int>(ctx.breaker().state()));
+      continue;
+    }
+    if (line.rfind("\\deadline", 0) == 0) {
+      deadline_ms = std::atol(line.substr(9).c_str());
+      if (deadline_ms > 0) {
+        std::printf("  deadline set to %ld ms\n", deadline_ms);
+      } else {
+        std::printf("  deadline cleared\n");
       }
       continue;
     }
@@ -217,7 +258,8 @@ int main() {
       recorder.Clear();
       recorder.SetEnabled(true);
       Stopwatch watch;
-      Result<TablePtr> result = runner.RunQuery(plan.value());
+      Result<TablePtr> result =
+          session->Execute(plan.value(), submit_options());
       const double total_ms = watch.ElapsedMillis();
       recorder.SetEnabled(false);
       if (!result.ok()) {
@@ -246,17 +288,19 @@ int main() {
     if (parsed.value().explain == ExplainMode::kAnalyze) {
       QueryStatsPtr stats = MakeQueryStats(plan.value());
       stats->set_name(line);
-      Result<TablePtr> result = runner.RunQuery(plan.value(), stats);
+      SubmitOptions options = submit_options();
+      options.stats = stats;
+      Result<TablePtr> result = session->Execute(plan.value(), options);
       if (!result.ok()) {
         std::printf("error: %s\n", result.status().ToString().c_str());
         continue;
       }
       std::printf("%s", stats->ToText().c_str());
-      runner.RefreshDataPlacement();
+      server.runner().RefreshDataPlacement();
       continue;
     }
     Stopwatch watch;
-    Result<TablePtr> result = runner.RunQuery(plan.value());
+    Result<TablePtr> result = session->Execute(plan.value(), submit_options());
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
@@ -265,7 +309,7 @@ int main() {
     std::printf("(%.2f ms; refreshing data placement in background)\n",
                 watch.ElapsedMillis());
     // Emulate the periodic Algorithm-1 job after each statement.
-    runner.RefreshDataPlacement();
+    server.runner().RefreshDataPlacement();
   }
   return 0;
 }

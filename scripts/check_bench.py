@@ -12,6 +12,15 @@ Usage:
   scripts/check_bench.py CANDIDATE.json [--baseline BENCH_kernels.json]
                          [--tolerance 0.5]
 
+With --serve-slo the candidate is instead a serve_slo JSON artifact and the
+gate checks admission-control sanity rather than kernel speedups: at the
+lowest load multiplier the controller must shed (approximately) nothing —
+an uncontended front door that rejects traffic is a regression no matter
+how the host performs — and every sweep point must report its tenants.
+
+Usage:
+  scripts/check_bench.py serve_slo.json --serve-slo [--shed-tolerance 0.0]
+
 Exit code 0 = within tolerance, 1 = regression, 2 = malformed input.
 """
 
@@ -51,6 +60,52 @@ def family_speedup(medians, family):
     return scalar / parallel
 
 
+def check_serve_slo(path, shed_tolerance):
+    """Gate on a serve_slo sweep artifact: no shedding at the low-load point."""
+    try:
+        with open(path) as fp:
+            doc = json.load(fp)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    points = doc.get("points", [])
+    if not points:
+        print(f"error: {path} holds no sweep points", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'load':<8}{'offered':>9}{'shed_rate':>11}{'goodput':>9}")
+    for point in points:
+        result = point.get("result", {})
+        load = point.get("load_multiplier")
+        print(f"{load:<8}{result.get('offered', 0):>9}"
+              f"{result.get('shed_rate', 0.0):>11.3f}"
+              f"{result.get('goodput_qps', 0.0):>9.2f}")
+        if load is None or "shed_rate" not in result:
+            failures.append(f"point {load}: missing load_multiplier/shed_rate")
+        if not result.get("tenants"):
+            failures.append(f"point {load}: no per-tenant results")
+
+    low = min(points, key=lambda p: p.get("load_multiplier", float("inf")))
+    low_shed = low.get("result", {}).get("shed_rate", 1.0)
+    if low_shed > shed_tolerance:
+        failures.append(
+            f"low-load point (x{low.get('load_multiplier')}) shed "
+            f"{low_shed:.3f} of offered queries "
+            f"(tolerance {shed_tolerance:.3f}) — an uncontended admission "
+            f"controller must not reject traffic")
+    if low.get("result", {}).get("completed", 0) == 0:
+        failures.append("low-load point completed zero queries")
+
+    if failures:
+        print("\nREGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: no shedding at low load, all points report tenants")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("candidate", help="fresh benchmark JSON to check")
@@ -59,7 +114,15 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.5,
                         help="allowed relative speedup drop, 0..1 "
                              "(default 0.5 — CI runners are noisy)")
+    parser.add_argument("--serve-slo", action="store_true",
+                        help="treat candidate as a serve_slo sweep artifact")
+    parser.add_argument("--shed-tolerance", type=float, default=0.0,
+                        help="allowed shed rate at the lowest load point "
+                             "(default 0.0)")
     args = parser.parse_args()
+
+    if args.serve_slo:
+        return check_serve_slo(args.candidate, args.shed_tolerance)
 
     baseline = load_medians(args.baseline)
     candidate = load_medians(args.candidate)

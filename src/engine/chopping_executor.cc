@@ -120,6 +120,11 @@ Result<TablePtr> ChoppingExecutor::ExecuteQuery(PlanNodePtr root,
   return Submit(std::move(root), std::move(placer), std::move(controls)).get();
 }
 
+size_t ChoppingExecutor::ReadyQueueDepth(ProcessorKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ready_queues_[static_cast<int>(kind)].size();
+}
+
 Status ChoppingExecutor::CheckRunnable(const QueryExecPtr& query) {
   if (!query->failed.load(std::memory_order_acquire)) {
     if (query->controls.cancel.cancelled()) {

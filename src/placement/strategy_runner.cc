@@ -78,11 +78,26 @@ Result<TablePtr> StrategyRunner::RunQuery(const PlanNodePtr& root) {
 
 Result<TablePtr> StrategyRunner::RunQuery(const PlanNodePtr& root,
                                           QueryStatsPtr stats) {
+  QueryControls controls;
+  controls.stats = std::move(stats);
+  return RunQuery(root, std::move(controls));
+}
+
+Result<TablePtr> StrategyRunner::RunQuery(const PlanNodePtr& root,
+                                          QueryControls controls) {
   if (chopping_ != nullptr) {
-    QueryControls controls;
-    controls.stats = std::move(stats);
     return chopping_->ExecuteQuery(root, placer_, std::move(controls));
   }
+  // Compile-time path: the operator-at-a-time executor has no mid-flight
+  // checkpoints, so honour the controls where we can — before starting.
+  if (controls.cancel.cancelled()) {
+    return Status::Cancelled("query cancelled by client");
+  }
+  if (controls.has_deadline() &&
+      std::chrono::steady_clock::now() >= controls.deadline) {
+    return Status::Cancelled("query deadline exceeded");
+  }
+  QueryStatsPtr stats = std::move(controls.stats);
   PlacementMap placement;
   switch (strategy_) {
     case Strategy::kCpuOnly:

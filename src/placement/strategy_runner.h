@@ -31,6 +31,17 @@ class StrategyRunner {
   /// registers them itself.
   Result<TablePtr> RunQuery(const PlanNodePtr& root, QueryStatsPtr stats);
 
+  /// Full-control variant (server/session path): cancel token, deadline, and
+  /// stats all flow through. Chopping strategies honour cancel/deadline at
+  /// every operator boundary; compile-time strategies check them before
+  /// execution starts (their operator-at-a-time executor has no mid-flight
+  /// checkpoints).
+  Result<TablePtr> RunQuery(const PlanNodePtr& root, QueryControls controls);
+
+  /// The chopping executor behind this runner, or nullptr for compile-time
+  /// strategies. Exposes queue-depth load signals to admission governors.
+  const ChoppingExecutor* chopping_executor() const { return chopping_.get(); }
+
   Strategy strategy() const { return strategy_; }
   EngineContext& ctx() { return *ctx_; }
 

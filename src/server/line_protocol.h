@@ -1,0 +1,80 @@
+#ifndef HETDB_SERVER_LINE_PROTOCOL_H_
+#define HETDB_SERVER_LINE_PROTOCOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+
+namespace hetdb {
+
+/// Knobs for the text front door.
+struct LineProtocolOptions {
+  /// Result rows streamed back per query (the rest is summarized by the
+  /// ROWS header's total count).
+  size_t max_result_rows = 100;
+};
+
+/// Minimal line-oriented text protocol over a stream socket — the "front
+/// door" a remote client (or netcat) speaks to the serving layer. One
+/// request or response per '\n'-terminated line:
+///
+///   client                          server
+///   ------------------------------  -----------------------------------
+///                                   HETDB 1 ready
+///   HELLO tenant-a                  OK tenant tenant-a
+///   DEADLINE 250                    OK deadline 250ms
+///   QUERY select ... from ...       ROWS <sent> <total> <cols> <micros>
+///                                   <tab-separated row> x sent
+///                                   DONE
+///   QUERY select bad sql            ERR <Code> <message>
+///   BYE                             (connection closes)
+///
+/// Every QUERY goes through the same Session/admission path as in-process
+/// clients: a shed query surfaces as `ERR ResourceExhausted shed: ...`.
+///
+/// Serve(fd) speaks the protocol over any connected stream fd (socketpair
+/// in tests); Listen() opens a TCP listener with an accept loop and one
+/// thread per connection.
+class LineProtocolServer {
+ public:
+  explicit LineProtocolServer(Server* server, LineProtocolOptions options = {});
+  ~LineProtocolServer();
+
+  LineProtocolServer(const LineProtocolServer&) = delete;
+  LineProtocolServer& operator=(const LineProtocolServer&) = delete;
+
+  /// Serves one established connection until BYE/EOF/error. Blocking; takes
+  /// ownership of `fd` (closes it on return).
+  void Serve(int fd);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral, see port()) and starts the
+  /// accept loop. Returns the bound port or an error.
+  Result<uint16_t> Listen(uint16_t port);
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes the listener, and joins connection threads.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+
+  Server* const server_;
+  const LineProtocolOptions options_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_SERVER_LINE_PROTOCOL_H_

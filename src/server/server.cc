@@ -1,0 +1,129 @@
+#include "server/server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "sql/planner.h"
+#include "telemetry/telemetry.h"
+
+namespace hetdb {
+
+namespace {
+
+int ResolveDispatchers(const ServerOptions& options) {
+  if (options.dispatchers > 0) return options.dispatchers;
+  return options.admission.max_concurrency;
+}
+
+std::function<GovernorSignals()> MakeEngineSignals(EngineContext* ctx) {
+  return [ctx] {
+    GovernorSignals signals;
+    signals.thrash = ctx->detector().state();
+    signals.breaker = ctx->breaker().state();
+    return signals;
+  };
+}
+
+}  // namespace
+
+Server::Server(EngineContext* ctx, ServerOptions options)
+    : ctx_(ctx),
+      options_(std::move(options)),
+      runner_(ctx, options_.strategy),
+      admission_(options_.admission, &ctx->telemetry().registry(),
+                 &ctx->flight_recorder(),
+                 options_.governor_follows_engine ? MakeEngineSignals(ctx)
+                                                  : nullptr) {
+  const int dispatchers = ResolveDispatchers(options_);
+  dispatchers_.reserve(dispatchers);
+  for (int i = 0; i < dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { DispatcherLoop(); });
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::RegisterTenant(const TenantSpec& spec) {
+  admission_.RegisterTenant(spec);
+}
+
+SessionPtr Server::OpenSession(const std::string& tenant) {
+  return SessionPtr(new Session(this, tenant));
+}
+
+std::future<Result<TablePtr>> Server::Submit(const std::string& tenant,
+                                             PlanNodePtr plan,
+                                             SubmitOptions options) {
+  auto query = std::make_unique<QueuedQuery>();
+  query->tenant = tenant;
+  query->cost = options.cost;
+  query->controls.cancel = options.cancel;
+  query->controls.deadline = options.deadline;
+  if (options.stats != nullptr) {
+    query->controls.stats = std::move(options.stats);
+    RegisterPlanNodes(query->controls.stats.get(), plan);
+  } else {
+    query->controls.stats = MakeQueryStats(plan);
+  }
+  QueryStats& stats = *query->controls.stats;
+  if (stats.query_id() == 0) stats.set_query_id(Telemetry::NextQueryId());
+  if (!options.name.empty()) stats.set_name(options.name);
+  query->plan = std::move(plan);
+  std::future<Result<TablePtr>> future = query->promise.get_future();
+  admission_.Offer(std::move(query));
+  return future;
+}
+
+void Server::DispatcherLoop() {
+  for (;;) {
+    QueuedQueryPtr query = admission_.Take();
+    if (query == nullptr) return;
+    const auto started = std::chrono::steady_clock::now();
+    Result<TablePtr> result =
+        runner_.RunQuery(query->plan, std::move(query->controls));
+    const int64_t service_micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    const bool ok = result.ok();
+    query->promise.set_value(std::move(result));
+    admission_.OnComplete(ok, service_micros);
+  }
+}
+
+void Server::Shutdown() {
+  admission_.Stop();
+  for (std::thread& thread : dispatchers_) {
+    if (thread.joinable()) thread.join();
+  }
+  dispatchers_.clear();
+}
+
+// --- Session --------------------------------------------------------------
+
+std::future<Result<TablePtr>> Session::Submit(PlanNodePtr plan,
+                                              SubmitOptions options) {
+  return server_->Submit(tenant_, std::move(plan), std::move(options));
+}
+
+std::future<Result<TablePtr>> Session::SubmitSql(const std::string& sql,
+                                                 SubmitOptions options) {
+  Result<PlanNodePtr> plan = PlanSql(sql, *server_->ctx().database());
+  if (!plan.ok()) {
+    std::promise<Result<TablePtr>> failed;
+    failed.set_value(plan.status());
+    return failed.get_future();
+  }
+  return Submit(std::move(plan).value(), std::move(options));
+}
+
+Result<TablePtr> Session::Execute(PlanNodePtr plan, SubmitOptions options) {
+  return Submit(std::move(plan), std::move(options)).get();
+}
+
+Result<TablePtr> Session::ExecuteSql(const std::string& sql,
+                                     SubmitOptions options) {
+  return SubmitSql(sql, std::move(options)).get();
+}
+
+}  // namespace hetdb

@@ -1,0 +1,99 @@
+#ifndef HETDB_SERVER_TRAFFIC_H_
+#define HETDB_SERVER_TRAFFIC_H_
+
+#include <string>
+#include <vector>
+
+#include "server/server.h"
+#include "ssb/ssb_queries.h"
+
+namespace hetdb {
+
+/// One tenant's offered load in a traffic run.
+struct TenantTraffic {
+  std::string name;
+  /// WDRR weight at the admission controller.
+  double weight = 1.0;
+  /// Query mix, sampled uniformly per request from the tenant's stream.
+  std::vector<NamedQuery> mix;
+  /// Per-query SLO budget; admission sheds requests it cannot meet.
+  /// 0 = best effort (no deadline).
+  double deadline_ms = 0;
+  /// Admission-queue bound (TenantSpec::max_queue). A tight bound keeps the
+  /// pre-warmup arrival burst from building a backlog that takes seconds of
+  /// the measured window to drain.
+  size_t max_queue = 64;
+
+  // --- open-loop mode ---
+  /// Poisson arrival rate, queries/second. Arrivals keep coming whether or
+  /// not earlier queries finished — the load that exposes overload collapse.
+  double arrival_qps = 0;
+
+  // --- closed-loop mode ---
+  /// Concurrent sessions; each waits for its query, thinks, repeats.
+  int sessions = 0;
+  /// Mean exponential think time per session, milliseconds.
+  double think_time_ms = 0;
+};
+
+struct TrafficOptions {
+  enum class Mode {
+    kOpenLoop,   ///< Poisson arrivals at arrival_qps per tenant
+    kClosedLoop  ///< sessions x think-time loops per tenant
+  };
+  Mode mode = Mode::kOpenLoop;
+  /// Offered-load phase length, seconds (late queries still drain after).
+  double duration_s = 5.0;
+  /// Seed for all arrival/mix sampling streams (reproducible runs).
+  uint64_t seed = 42;
+};
+
+/// Per-tenant outcome of a traffic run. Latencies are client-visible
+/// (admission queue wait included) and cover *admitted, successful* queries
+/// — shed and failed requests appear in the counts, not the percentiles.
+struct TenantTrafficResult {
+  std::string tenant;
+  uint64_t offered = 0;
+  uint64_t completed = 0;  ///< finished OK (within deadline when one was set)
+  uint64_t shed = 0;       ///< rejected at admission
+  uint64_t missed = 0;     ///< cancelled mid-flight (deadline/client)
+  uint64_t failed = 0;     ///< other errors
+  double goodput_qps = 0;  ///< completed / duration
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+struct TrafficResult {
+  double duration_s = 0;
+  std::vector<TenantTrafficResult> tenants;
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t missed = 0;
+  uint64_t failed = 0;
+  double shed_rate = 0;     ///< shed / offered
+  double goodput_qps = 0;   ///< total completed / duration
+  /// Jain's fairness index over per-tenant goodput: 1 = perfectly even,
+  /// 1/n = one tenant got everything. Only meaningful under equal weights.
+  double fairness = 0;
+
+  std::string ToString() const;
+  /// One JSON object (pretty-printed) for scripts/check_bench.py and CI.
+  std::string ToJson() const;
+};
+
+/// Drives the offered load of `tenants` at `server` for the configured
+/// duration, then drains in-flight queries and aggregates outcomes.
+/// Registers each tenant's WDRR weight with the server's admission
+/// controller. Deterministic given (seed, mode, tenant specs) up to thread
+/// scheduling of the engine itself.
+TrafficResult RunTraffic(Server& server,
+                         const std::vector<TenantTraffic>& tenants,
+                         const TrafficOptions& options);
+
+}  // namespace hetdb
+
+#endif  // HETDB_SERVER_TRAFFIC_H_

@@ -71,6 +71,7 @@ NodeStats* QueryStats::Find(const void* key) const {
 }
 
 void QueryStats::MarkSubmitted() {
+  if (submitted()) return;  // first call wins: keep the admission baseline
   submitted_ = std::chrono::steady_clock::now();
 }
 
@@ -84,6 +85,12 @@ void QueryStats::MarkFinished(bool ok, const std::string& error) {
   ok_.store(ok, std::memory_order_relaxed);
   error_ = error;
   finished_.store(true, std::memory_order_release);
+}
+
+void QueryStats::MarkShed(const std::string& reason) {
+  if (finished_.load(std::memory_order_acquire)) return;
+  shed_.store(true, std::memory_order_relaxed);
+  MarkFinished(/*ok=*/false, reason);
 }
 
 int64_t QueryStats::wall_micros() const {
@@ -245,7 +252,8 @@ std::string QueryStats::ToText() const {
   os << "-- query";
   if (query_id_ != 0) os << " #" << query_id_;
   if (!name_.empty()) os << " (" << name_ << ")";
-  os << ": " << (finished() ? (ok() ? "ok" : "FAILED") : "running")
+  os << ": " << (finished() ? (ok() ? "ok" : (shed() ? "SHED" : "FAILED"))
+                            : "running")
      << "  wall=" << FormatMillis(wall_micros())
      << "  pcie(h2d=" << FormatBytes(h2d_bytes())
      << ",d2h=" << FormatBytes(d2h_bytes()) << " in " << transfers()
@@ -264,7 +272,8 @@ std::string QueryStats::ToJson() const {
   std::ostringstream os;
   os << "{\"query_id\":" << query_id_ << ",\"name\":\"" << JsonEscape(name_)
      << "\",\"status\":\""
-     << (finished() ? (ok() ? "ok" : "error") : "running") << "\"";
+     << (finished() ? (ok() ? "ok" : (shed() ? "shed" : "error")) : "running")
+     << "\"";
   if (finished() && !ok()) os << ",\"error\":\"" << JsonEscape(error_) << "\"";
   os << ",\"wall_us\":" << wall_micros() << ",\"h2d_bytes\":" << h2d_bytes()
      << ",\"d2h_bytes\":" << d2h_bytes() << ",\"transfers\":" << transfers()
@@ -318,8 +327,9 @@ std::string QueryStats::ToJson() const {
 std::vector<std::pair<std::string, std::string>> QueryStats::SummaryFields()
     const {
   std::vector<std::pair<std::string, std::string>> fields;
-  fields.emplace_back("status",
-                      finished() ? (ok() ? "ok" : "error") : "running");
+  fields.emplace_back(
+      "status",
+      finished() ? (ok() ? "ok" : (shed() ? "shed" : "error")) : "running");
   if (finished() && !ok()) fields.emplace_back("error", error_);
   fields.emplace_back("wall_us", std::to_string(wall_micros()));
   fields.emplace_back("operators", std::to_string(operators_run()));

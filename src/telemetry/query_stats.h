@@ -95,11 +95,22 @@ class QueryStats {
   const std::string& name() const { return name_; }
 
   /// Stamps the submission time (queue-wait and wall-time baseline).
+  /// Idempotent (first call wins), so a session layer can stamp a query at
+  /// admission-queue entry and the executor's own MarkSubmitted keeps that
+  /// earlier baseline — wall time then covers the full client-visible span.
   void MarkSubmitted();
+  bool submitted() const {
+    return submitted_ != std::chrono::steady_clock::time_point{};
+  }
   /// Stamps completion; idempotent (first call wins).
   void MarkFinished(bool ok, const std::string& error = "");
+  /// Marks the query rejected at admission (load shedding): finished,
+  /// not-ok, with the distinguished `shed` outcome. A shed query never
+  /// started, so it must hold no device resources. Idempotent.
+  void MarkShed(const std::string& reason);
   bool finished() const { return finished_.load(std::memory_order_acquire); }
   bool ok() const { return ok_.load(std::memory_order_relaxed); }
+  bool shed() const { return shed_.load(std::memory_order_relaxed); }
   const std::string& error() const { return error_; }
   /// Submission -> completion wall time (so far, if not finished).
   int64_t wall_micros() const;
@@ -184,6 +195,7 @@ class QueryStats {
   std::atomic<int64_t> finish_micros_{-1};  ///< vs submitted_; -1 = running
   std::atomic<bool> finished_{false};
   std::atomic<bool> ok_{false};
+  std::atomic<bool> shed_{false};
 
   std::atomic<int64_t> h2d_bytes_{0};
   std::atomic<int64_t> d2h_bytes_{0};

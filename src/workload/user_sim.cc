@@ -1,0 +1,38 @@
+#include "workload/user_sim.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace hetdb {
+
+double SampleThinkTimeMs(Rng& rng, double mean_ms) {
+  if (mean_ms <= 0) return 0;
+  // Inverse-transform exponential; clamp the uniform away from 0 so a
+  // pathological draw cannot produce an unbounded sleep.
+  const double u = std::max(rng.NextDouble(), 1e-12);
+  return -mean_ms * std::log(u);
+}
+
+void RunUserLoops(const UserLoopOptions& options, const UserLoopBody& body) {
+  const int num_users = std::max(1, options.num_users);
+  std::vector<std::thread> sessions;
+  sessions.reserve(num_users);
+  for (int user = 0; user < num_users; ++user) {
+    sessions.emplace_back([&options, &body, user] {
+      Rng rng(options.seed + static_cast<uint64_t>(user));
+      while (body(user, rng)) {
+        if (options.think_time_ms > 0) {
+          const double think_ms = SampleThinkTimeMs(rng, options.think_time_ms);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(think_ms));
+        }
+      }
+    });
+  }
+  for (std::thread& session : sessions) session.join();
+}
+
+}  // namespace hetdb

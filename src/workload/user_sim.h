@@ -1,0 +1,44 @@
+#ifndef HETDB_WORKLOAD_USER_SIM_H_
+#define HETDB_WORKLOAD_USER_SIM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace hetdb {
+
+/// Shared shape of every multi-user experiment in the repo: N concurrent
+/// session threads, each looping "do one piece of work, then think". The
+/// workload runner, the figure-18/21 parallel-user benches, and the serving
+/// bench's closed-loop mode all drive their sessions through this one
+/// helper instead of hand-rolling the thread/think/jitter loop.
+struct UserLoopOptions {
+  int num_users = 1;
+  /// Mean think time between a session's queries, milliseconds. 0 = closed
+  /// loop at full speed (the paper's Section 6 protocol).
+  double think_time_ms = 0;
+  /// Seed for the per-user jitter streams; user `u` gets Rng(seed + u), so
+  /// runs are reproducible and users are decorrelated.
+  uint64_t seed = 42;
+};
+
+/// The per-iteration body: one unit of work for session `user`. `rng` is the
+/// session's private deterministic stream (for query-mix sampling etc.).
+/// Return false to end this session's loop.
+using UserLoopBody = std::function<bool(int user, Rng& rng)>;
+
+/// Spawns `options.num_users` session threads, each repeatedly invoking
+/// `body` until it returns false, sleeping an exponentially distributed
+/// think time (mean `think_time_ms`) between invocations. Joins all
+/// sessions before returning. `body` runs concurrently across users — it
+/// must be thread-safe.
+void RunUserLoops(const UserLoopOptions& options, const UserLoopBody& body);
+
+/// One exponential think-time draw (mean `mean_ms`), for callers that pace
+/// sessions themselves. Returns 0 when mean_ms <= 0.
+double SampleThinkTimeMs(Rng& rng, double mean_ms);
+
+}  // namespace hetdb
+
+#endif  // HETDB_WORKLOAD_USER_SIM_H_

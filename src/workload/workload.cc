@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "telemetry/histogram.h"
+#include "workload/user_sim.h"
 
 namespace hetdb {
 
@@ -95,46 +96,45 @@ WorkloadRunResult RunWorkload(StrategyRunner& runner,
 
   const int num_users = std::max(1, options.num_users);
   std::vector<uint64_t> session_failed(num_users, 0);
-  std::vector<std::thread> sessions;
-  sessions.reserve(num_users);
+
+  UserLoopOptions loop_options;
+  loop_options.num_users = num_users;
+  loop_options.think_time_ms = options.think_time_ms;
+  loop_options.seed = options.seed;
 
   Stopwatch workload_watch;
-  for (int user = 0; user < num_users; ++user) {
-    sessions.emplace_back([&, user] {
-      while (true) {
-        const size_t index = next_task.fetch_add(1, std::memory_order_relaxed);
-        if (index >= tasks.size()) break;
-        const NamedQuery& query = *tasks[index];
-        Result<PlanNodePtr> plan = query.builder(db);
-        if (!plan.ok()) {
-          ++session_failed[user];
-          continue;
-        }
-        admission.Acquire();
-        QueryStatsPtr stats = MakeQueryStats(plan.value());
-        stats->set_name(query.name);
-        Stopwatch latency;
-        Result<TablePtr> result = runner.RunQuery(plan.value(), stats);
-        const int64_t micros = latency.ElapsedMicros();
-        admission.Release();
-        if (!result.ok()) {
-          ++session_failed[user];
-          continue;
-        }
-        latency_histograms.at(query.name)->Record(micros);
-        ResourceAccum& accum = resource_accums.at(query.name);
-        accum.queue_wait_micros.fetch_add(stats->queue_wait_micros(),
-                                          std::memory_order_relaxed);
-        accum.run_micros.fetch_add(stats->run_micros(),
-                                   std::memory_order_relaxed);
-        accum.device_retries.fetch_add(stats->device_retries(),
-                                       std::memory_order_relaxed);
-        accum.cpu_fallbacks.fetch_add(stats->cpu_fallbacks(),
+  RunUserLoops(loop_options, [&](int user, Rng& /*rng*/) {
+    const size_t index = next_task.fetch_add(1, std::memory_order_relaxed);
+    if (index >= tasks.size()) return false;
+    const NamedQuery& query = *tasks[index];
+    Result<PlanNodePtr> plan = query.builder(db);
+    if (!plan.ok()) {
+      ++session_failed[user];
+      return true;
+    }
+    admission.Acquire();
+    QueryStatsPtr stats = MakeQueryStats(plan.value());
+    stats->set_name(query.name);
+    Stopwatch latency;
+    Result<TablePtr> result = runner.RunQuery(plan.value(), stats);
+    const int64_t micros = latency.ElapsedMicros();
+    admission.Release();
+    if (!result.ok()) {
+      ++session_failed[user];
+      return true;
+    }
+    latency_histograms.at(query.name)->Record(micros);
+    ResourceAccum& accum = resource_accums.at(query.name);
+    accum.queue_wait_micros.fetch_add(stats->queue_wait_micros(),
                                       std::memory_order_relaxed);
-      }
-    });
-  }
-  for (std::thread& session : sessions) session.join();
+    accum.run_micros.fetch_add(stats->run_micros(),
+                               std::memory_order_relaxed);
+    accum.device_retries.fetch_add(stats->device_retries(),
+                                   std::memory_order_relaxed);
+    accum.cpu_fallbacks.fetch_add(stats->cpu_fallbacks(),
+                                  std::memory_order_relaxed);
+    return true;
+  });
 
   // --- Collect metrics ---------------------------------------------------------
   WorkloadRunResult result;

@@ -27,6 +27,12 @@ struct WorkloadRunOptions {
   /// >0: admission control — at most this many queries run concurrently
   /// (the Wang-et-al. style baseline in Figure 21).
   int admission_limit = 0;
+  /// Mean think time between a session's queries, milliseconds
+  /// (exponentially distributed per user). 0 = the paper's closed-loop
+  /// full-speed protocol.
+  double think_time_ms = 0;
+  /// Seed for the per-user think-time/jitter streams (see RunUserLoops).
+  uint64_t seed = 42;
 };
 
 /// Latency distribution of one query name over a run, milliseconds.
