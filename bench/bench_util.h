@@ -55,10 +55,13 @@ inline void EnableTraceExportAtExit(const std::string& path) {
 ///                    defaults: SSB 42, TPC-H 1234, sessions 42)
 ///   --think-time MS  mean exponential per-session think time for the
 ///                    parallel-user benches (0 = closed loop, the default)
+///   --fusion=on|off  enable/disable operator fusion (DESIGN.md §11) for the
+///                    whole process — the fusion-ablation runs flip this
 struct BenchArgs {
   bool quick = false;
   bool full = false;
   bool per_query = false;
+  bool fusion = true;
   double time_scale = 1.0;
   uint64_t seed = 0;
   double think_time_ms = 0;
@@ -86,8 +89,11 @@ struct BenchArgs {
       } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
         args.trace_out = argv[++i];
       }
+      if (std::strcmp(argv[i], "--fusion=off") == 0) args.fusion = false;
+      if (std::strcmp(argv[i], "--fusion=on") == 0) args.fusion = true;
     }
     if (!args.trace_out.empty()) EnableTraceExportAtExit(args.trace_out);
+    GlobalKernelConfig().fusion = args.fusion;
     return args;
   }
 

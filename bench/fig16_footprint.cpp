@@ -35,13 +35,54 @@ size_t WorkloadFootprint(const DatabasePtr& db,
 
 }  // namespace
 
+/// Per-query device-heap high-water mark under GPU-Only, fusion off vs on.
+/// The base-column footprint above is fusion-independent; the *transient*
+/// footprint is where fusion bites — a fused pipeline charges only its join
+/// build tables, not per-member intermediates (DESIGN.md §11).
+void FusionAblation(const BenchArgs& args) {
+  SsbGeneratorOptions gen;
+  args.ApplySeed(gen);
+  gen.scale_factor = args.quick ? 1 : 5;
+  DatabasePtr db = GenerateSsbDatabase(gen);
+
+  std::printf("#\n# Fusion ablation: per-query device-heap high-water "
+              "(GPU-Only, SF %.0f)\n", gen.scale_factor);
+  PrintHeader({"query", "unfused[KiB]", "fused[KiB]", "ratio"});
+  const bool saved_fusion = GlobalKernelConfig().fusion;
+  for (const NamedQuery& query : SsbQueries()) {
+    int64_t high_water[2] = {0, 0};
+    for (int pass = 0; pass < 2; ++pass) {
+      GlobalKernelConfig().fusion = pass == 1;
+      EngineContext ctx(PaperConfig(args.time_scale), db);
+      StrategyRunner runner(&ctx, Strategy::kGpuOnly);
+      runner.RefreshDataPlacement();
+      Result<PlanNodePtr> plan = query.builder(*db);
+      HETDB_CHECK(plan.ok());
+      auto stats = std::make_shared<QueryStats>();
+      Result<TablePtr> result = runner.RunQuery(plan.value(), stats);
+      HETDB_CHECK(result.ok());
+      high_water[pass] = stats->heap_high_water();
+    }
+    GlobalKernelConfig().fusion = saved_fusion;
+    PrintCell(query.name);
+    PrintCell(static_cast<double>(high_water[0]) / 1024.0);
+    PrintCell(static_cast<double>(high_water[1]) / 1024.0);
+    PrintCell(high_water[1] > 0
+                  ? static_cast<double>(high_water[0]) /
+                        static_cast<double>(high_water[1])
+                  : 0.0);
+    EndRow();
+  }
+}
+
 int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
-  (void)args;
   Banner("Figure 16",
          "Workload memory footprint vs scale factor (device cache: 24 MiB)");
+  FusionAblation(args);
   PrintHeader({"sf", "ssb[MiB]", "tpch[MiB]", "cache[MiB]"});
-  for (double sf : {5, 10, 15, 20, 25, 30}) {
+  for (double sf : args.quick ? std::vector<double>{5, 10}
+                              : std::vector<double>{5, 10, 15, 20, 25, 30}) {
     SsbGeneratorOptions ssb_gen;
     args.ApplySeed(ssb_gen);
     ssb_gen.scale_factor = sf;

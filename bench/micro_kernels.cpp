@@ -12,8 +12,11 @@
 
 #include "cache/data_cache.h"
 #include "common/config.h"
+#include "common/logging.h"
 #include "common/parallel.h"
+#include "engine/pipeline_builder.h"
 #include "operators/kernels.h"
+#include "operators/plan_node.h"
 #include "sim/simulator.h"
 #include "ssb/ssb_generator.h"
 #include "telemetry/exporters.h"
@@ -143,6 +146,74 @@ void BM_AggregateParallel(benchmark::State& state) {
   RunAggregateBench(state);
 }
 BENCHMARK(BM_AggregateParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// --- Operator fusion ---------------------------------------------------------
+// BM_PipelineUnfused / BM_PipelineFused run the same filter -> join-probe ->
+// aggregate chain operator-at-a-time (full intermediate materialization
+// after every member) and as one fused pipeline (selection vectors + match
+// tuples, zero intermediates). scripts/check_bench.py gates on the
+// unfused/fused ratio. A mildly selective filter (~50%) keeps the
+// intermediates large, which is the workload fusion is for.
+
+PlanNodePtr PipelinePlan(const DatabasePtr& db) {
+  PlanNodePtr scan = std::make_shared<ScanNode>(
+      db->GetTable("lineorder").value(),
+      std::vector<std::string>{"lo_suppkey", "lo_quantity", "lo_revenue"});
+  PlanNodePtr select = std::make_shared<SelectNode>(
+      std::move(scan), ConjunctiveFilter::And({Predicate::Between(
+                           "lo_quantity", int64_t{14}, int64_t{37})}));
+  PlanNodePtr dim = std::make_shared<ScanNode>(
+      db->GetTable("supplier").value(),
+      std::vector<std::string>{"s_suppkey", "s_nation"});
+  JoinOutputSpec spec;
+  spec.build_columns = {"s_nation"};
+  spec.probe_columns = {"lo_revenue"};
+  PlanNodePtr join = std::make_shared<JoinNode>(
+      std::move(dim), std::move(select), "s_suppkey", "lo_suppkey", spec);
+  return std::make_shared<AggregateNode>(
+      std::move(join), std::vector<std::string>{"s_nation"},
+      std::vector<AggregateSpec>{{AggregateFn::kSum, "lo_revenue", "rev"}});
+}
+
+/// Operator-at-a-time execution of a plan tree: exactly what the query
+/// executor does per node, minus placement/telemetry (kernel time only).
+TablePtr ExecutePlanTree(const PlanNodePtr& node) {
+  std::vector<TablePtr> inputs;
+  inputs.reserve(node->children().size());
+  for (const PlanNodePtr& child : node->children()) {
+    inputs.push_back(ExecutePlanTree(child));
+  }
+  auto result = node->ComputeResult(inputs);
+  HETDB_CHECK(result.ok());
+  return result.value();
+}
+
+void RunPipelineBench(benchmark::State& state, bool fusion) {
+  DatabasePtr db = BenchDb();
+  GlobalKernelConfig().fusion = fusion;
+  PlanNodePtr plan = PipelinePlan(db);
+  if (fusion) plan = FusePipelines(plan);
+  const size_t rows = db->GetTable("lineorder").value()->num_rows();
+  for (auto _ : state) {
+    TablePtr result = ExecutePlanTree(plan);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+
+void BM_PipelineUnfused(benchmark::State& state) {
+  BackendGuard guard(KernelBackend::kMorselParallel,
+                     static_cast<int>(state.range(0)));
+  RunPipelineBench(state, /*fusion=*/false);
+}
+BENCHMARK(BM_PipelineUnfused)->Arg(1)->Arg(8);
+
+void BM_PipelineFused(benchmark::State& state) {
+  BackendGuard guard(KernelBackend::kMorselParallel,
+                     static_cast<int>(state.range(0)));
+  RunPipelineBench(state, /*fusion=*/true);
+}
+BENCHMARK(BM_PipelineFused)->Arg(1)->Arg(8);
 
 void BM_Sort(benchmark::State& state) {
   DatabasePtr db = BenchDb();

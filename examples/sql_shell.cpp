@@ -17,7 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "common/config.h"
 #include "common/stopwatch.h"
+#include "engine/pipeline_builder.h"
 #include "server/server.h"
 #include "sql/explain.h"
 #include "sql/parser.h"
@@ -163,7 +165,7 @@ int main() {
       "  SELECT d_year, sum(lo_revenue) AS revenue FROM lineorder, date\n"
       "  WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year;\n"
       "Statements: SELECT / EXPLAIN SELECT / EXPLAIN ANALYZE SELECT\n"
-      "Meta: \\tables  \\cache  \\server  \\deadline MS\n"
+      "Meta: \\tables  \\cache  \\server  \\deadline MS  \\fusion on|off\n"
       "      \\trace SELECT ...  \\flight [path]  \\quit\n\n");
 
   // Per-statement SLO budget (\deadline); 0 = none. Queries the admission
@@ -214,6 +216,22 @@ int main() {
       } else {
         std::printf("  deadline cleared\n");
       }
+      continue;
+    }
+    if (line.rfind("\\fusion", 0) == 0) {
+      std::string arg = line.substr(7);
+      const size_t start = arg.find_first_not_of(" \t");
+      arg = start == std::string::npos ? std::string() : arg.substr(start);
+      if (arg == "on") {
+        GlobalKernelConfig().fusion = true;
+      } else if (arg == "off") {
+        GlobalKernelConfig().fusion = false;
+      } else if (!arg.empty()) {
+        std::printf("usage: \\fusion on|off\n");
+        continue;
+      }
+      std::printf("  pipeline fusion: %s\n",
+                  GlobalKernelConfig().fusion ? "on" : "off");
       continue;
     }
     if (line == "\\cache") {
@@ -281,16 +299,31 @@ int main() {
       std::printf("error: %s\n", plan.status().ToString().c_str());
       continue;
     }
+    // Mirror the executor's fusion decision so EXPLAIN (and the stats the
+    // ANALYZE path registers) describe the plan that actually runs.
+    PlanNodePtr final_plan = plan.value();
+    size_t fused_nodes = 0;
+    if (GlobalKernelConfig().fusion) {
+      final_plan = FusePipelines(final_plan);
+      VisitPlanPostOrder(final_plan, [&fused_nodes](const PlanNodePtr& node) {
+        if (node->op() == PlanOp::kFusedPipeline) ++fused_nodes;
+      });
+    }
     if (parsed.value().explain == ExplainMode::kPlan) {
-      std::printf("%s", RenderPlanTree(plan.value()).c_str());
+      std::printf("%s", RenderPlanTree(final_plan).c_str());
+      if (!GlobalKernelConfig().fusion) {
+        std::printf("-- fusion: off\n");
+      } else {
+        std::printf("-- fusion: %zu pipeline(s) fused\n", fused_nodes);
+      }
       continue;
     }
     if (parsed.value().explain == ExplainMode::kAnalyze) {
-      QueryStatsPtr stats = MakeQueryStats(plan.value());
+      QueryStatsPtr stats = MakeQueryStats(final_plan);
       stats->set_name(line);
       SubmitOptions options = submit_options();
       options.stats = stats;
-      Result<TablePtr> result = session->Execute(plan.value(), options);
+      Result<TablePtr> result = session->Execute(final_plan, options);
       if (!result.ok()) {
         std::printf("error: %s\n", result.status().ToString().c_str());
         continue;

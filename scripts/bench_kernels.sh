@@ -28,7 +28,7 @@ if [[ ! -x "${bench}" ]]; then
 fi
 
 "${bench}" \
-  --benchmark_filter='BM_(Filter|HashJoin|Aggregate)(Scalar|Parallel)' \
+  --benchmark_filter='BM_((Filter|HashJoin|Aggregate)(Scalar|Parallel)|Pipeline(Unfused|Fused))' \
   --benchmark_min_time=0.5 \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
@@ -58,6 +58,18 @@ for kernel in ("Filter", "HashJoin", "Aggregate"):
         continue
     print(f"{kernel:<12} {scalar:>10.0f}ns {par8:>10.0f}ns "
           f"{scalar / par8:>8.2f}x")
+
+# Operator fusion: same chain unfused vs fused, at DoP 1 and 8.
+print()
+print(f"{'pipeline':<12} {'unfused':>12} {'fused':>12} {'speedup':>9}")
+for dop in (1, 8):
+    unfused = median.get(f"BM_PipelineUnfused/{dop}")
+    fused = median.get(f"BM_PipelineFused/{dop}")
+    if unfused is None or fused is None:
+        print(f"{'dop ' + str(dop):<12} {'missing':>12}")
+        continue
+    print(f"{'dop ' + str(dop):<12} {unfused:>10.0f}ns {fused:>10.0f}ns "
+          f"{unfused / fused:>8.2f}x")
 EOF
 
 echo

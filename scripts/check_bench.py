@@ -31,6 +31,7 @@ import sys
 
 FAMILIES = ["Filter", "HashJoin", "Aggregate"]
 PARALLEL_DOP = 8
+FUSION_DOP = 8
 
 
 def load_medians(path):
@@ -58,6 +59,15 @@ def family_speedup(medians, family):
     if scalar is None or parallel is None or parallel <= 0:
         return None
     return scalar / parallel
+
+
+def fusion_speedup(medians):
+    """Unfused/fused ratio of the operator-fusion pipeline pair."""
+    unfused = medians.get(f"BM_PipelineUnfused/{FUSION_DOP}")
+    fused = medians.get(f"BM_PipelineFused/{FUSION_DOP}")
+    if unfused is None or fused is None or fused <= 0:
+        return None
+    return unfused / fused
 
 
 def check_serve_slo(path, shed_tolerance):
@@ -119,6 +129,10 @@ def main():
     parser.add_argument("--shed-tolerance", type=float, default=0.0,
                         help="allowed shed rate at the lowest load point "
                              "(default 0.0)")
+    parser.add_argument("--fusion-floor", type=float, default=1.3,
+                        help="absolute minimum unfused/fused pipeline "
+                             "speedup (default 1.3 — the fusion win is "
+                             "skipped work, so it holds on any host)")
     args = parser.parse_args()
 
     if args.serve_slo:
@@ -146,6 +160,27 @@ def main():
                 f"{family}: speedup {cand:.2f}x fell below floor "
                 f"{floor:.2f}x (baseline {base:.2f}x, "
                 f"tolerance {args.tolerance:.0%})")
+
+    # Operator fusion gate: unlike the parallel speedups (bounded by host
+    # cores), the fused/unfused ratio comes from *skipped work* — it must
+    # clear an absolute floor, and must not regress against the baseline.
+    base_fusion = fusion_speedup(baseline)
+    cand_fusion = fusion_speedup(candidate)
+    if cand_fusion is None:
+        if base_fusion is not None:
+            failures.append("Pipeline: fusion pair missing from candidate run")
+        else:
+            print("Pipeline     n/a  (fusion pair not in baseline, skipped)")
+    else:
+        floor = args.fusion_floor
+        if base_fusion is not None:
+            floor = max(floor, base_fusion * (1.0 - args.tolerance))
+        base_text = f"{base_fusion:>10.2f}" if base_fusion else f"{'n/a':>10}"
+        print(f"{'Pipeline':<12}{base_text}{cand_fusion:>10.2f}{floor:>10.2f}")
+        if cand_fusion < floor:
+            failures.append(
+                f"Pipeline: fused speedup {cand_fusion:.2f}x fell below "
+                f"floor {floor:.2f}x")
 
     if failures:
         print("\nREGRESSION:", file=sys.stderr)

@@ -136,6 +136,12 @@ struct KernelConfig {
   /// Rows per morsel. 16k rows keep a few touched columns of a morsel
   /// inside L1/L2 while amortizing scheduling to ~micro-seconds of work.
   size_t morsel_rows = 16 * 1024;
+  /// Pipeline fusion: when true the plan-rewrite pass groups fusable
+  /// filter -> join-probe -> aggregate/project chains into FusedPipeline
+  /// nodes that evaluate the whole chain per morsel without materializing
+  /// intermediates (DESIGN.md §11). Results are bit-identical either way;
+  /// this is a performance/verification knob like `backend`.
+  bool fusion = true;
 };
 
 inline KernelConfig& GlobalKernelConfig() {

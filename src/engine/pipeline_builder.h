@@ -1,0 +1,37 @@
+#ifndef HETDB_ENGINE_PIPELINE_BUILDER_H_
+#define HETDB_ENGINE_PIPELINE_BUILDER_H_
+
+#include "operators/plan_node.h"
+
+namespace hetdb {
+
+/// Plan-rewrite pass: greedily groups maximal fusable operator chains into
+/// `FusedPipeline` nodes (DESIGN.md §11).
+///
+/// A chain grows downward from a candidate top node through Select and
+/// Project members (via their only child) and Join members (via the probe
+/// child; the build child becomes a separate input of the fused node). An
+/// Aggregate may appear only as the chain's top member. The chain must
+/// bottom out in a Scan and contain at least two members; a static
+/// name-binding check (mirroring the runtime binder's rules) rejects chains
+/// the fused evaluator would decline — e.g. filters on non-source columns
+/// or probe keys on computed columns — so those fuse lower down instead.
+///
+/// The rewrite is structural only: it never changes results. Unchanged
+/// subtrees are returned as the same node objects, so running the pass on an
+/// already-fused plan is the identity (FusedPipeline nodes break chains).
+PlanNodePtr FusePipelines(const PlanNodePtr& root);
+
+class QueryStats;
+
+/// Applies FusePipelines under the `KernelConfig::fusion` knob. Call this
+/// before MakeQueryStats so per-node attribution follows the plan that will
+/// actually execute. When `stats` was already registered against a
+/// *different* plan, the rewrite is declined and `root` is returned
+/// unchanged — adopting it would orphan the caller's per-node attribution.
+PlanNodePtr OptimizePlan(const PlanNodePtr& root,
+                         const QueryStats* stats = nullptr);
+
+}  // namespace hetdb
+
+#endif  // HETDB_ENGINE_PIPELINE_BUILDER_H_

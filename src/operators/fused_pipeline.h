@@ -1,0 +1,67 @@
+#ifndef HETDB_OPERATORS_FUSED_PIPELINE_H_
+#define HETDB_OPERATORS_FUSED_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "operators/plan_node.h"
+
+namespace hetdb {
+
+/// A fused operator pipeline: one plan node that evaluates a chain of
+/// fusable operators — selections, join probes, projections, and an optional
+/// terminal aggregation — in a single morsel pass over its source child,
+/// with zero intermediate materialization.
+///
+/// Where the operator-at-a-time plan materializes a full column table after
+/// every member (gathering all columns per select, per join, per project),
+/// the fused kernel keeps only row indices: compiled predicates produce a
+/// keep-mask per morsel, survivors probe the pre-built per-join hash tables
+/// emitting (source row, build row per level) match tuples, and the terminal
+/// either gathers the output columns once or folds matches straight into
+/// aggregation accumulators. On the simulated device the footprint shrinks
+/// accordingly: `IntermediateDeviceBytes` charges only the join build tables
+/// — no flag arrays, no per-member intermediates (DESIGN.md §11).
+///
+/// Results are bit-identical to the unfused chain: the same compiled
+/// predicate atoms, the same (probe ascending, build ascending within key)
+/// match order, the same first-seen group order and per-group ascending
+/// double accumulation, and the same output typing rules — all shared with
+/// the per-operator kernels via `kernels_internal.h`. If runtime binding
+/// finds a shape the fused evaluator does not handle, it falls back to
+/// replaying the member operators one at a time, which *is* the unfused
+/// execution.
+class FusedPipelineNode : public PlanNode {
+ public:
+  /// `children` = [source, build_0, ..., build_{J-1}]: the source feeds the
+  /// bottom member, and the i-th join member (bottom-up) builds its hash
+  /// table from children[1 + i]. `members` lists the fused operators
+  /// bottom-up; only Select/Join/Project members plus an optional terminal
+  /// Aggregate are valid (the pipeline builder guarantees this).
+  FusedPipelineNode(std::vector<PlanNodePtr> children,
+                    std::vector<PlanNodePtr> members);
+
+  OpClass op_class() const override;
+  Result<TablePtr> ComputeResult(
+      const std::vector<TablePtr>& inputs) const override;
+  size_t IntermediateDeviceBytes(
+      const std::vector<TablePtr>& inputs) const override;
+  std::string label() const override;
+
+  /// The fused member operators, bottom-up (members()[0] consumes the
+  /// source). Exposed for EXPLAIN rendering and stats attribution.
+  const std::vector<PlanNodePtr>& members() const { return members_; }
+  size_t num_joins() const { return num_joins_; }
+
+ private:
+  /// Operator-at-a-time fallback: executes the members one by one exactly
+  /// as the unfused plan would (used when runtime binding declines).
+  Result<TablePtr> ReplayMembers(const std::vector<TablePtr>& inputs) const;
+
+  std::vector<PlanNodePtr> members_;
+  size_t num_joins_ = 0;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_OPERATORS_FUSED_PIPELINE_H_

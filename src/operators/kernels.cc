@@ -12,13 +12,17 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "operators/kernels_internal.h"
 #include "telemetry/telemetry.h"
 
 namespace hetdb {
 
-namespace {
+using namespace kernel_internal;  // NOLINT — shared kernel building blocks
 
-constexpr uint32_t kNoEntry = std::numeric_limits<uint32_t>::max();
+// Shared building blocks (declared in kernels_internal.h) live in
+// kernel_internal so the fused pipeline kernel reuses them; everything else
+// in this file stays in the anonymous namespace below.
+namespace kernel_internal {
 
 bool UseParallelBackend() {
   return GlobalKernelConfig().backend == KernelBackend::kMorselParallel;
@@ -28,83 +32,11 @@ size_t ConfigMorselRows() {
   return std::max<size_t>(1, GlobalKernelConfig().morsel_rows);
 }
 
-// ---------------------------------------------------------------------------
-// Telemetry
-// ---------------------------------------------------------------------------
-
-/// Handles into GlobalKernelMetrics() for one kernel, resolved once (the
-/// registry lookup takes a lock; the handles themselves are lock-free).
-struct KernelStats {
-  Histogram* latency_us;
-  Histogram* dop;
-  Counter* invocations;
-  Counter* morsels;
-
-  explicit KernelStats(const std::string& kernel) {
-    MetricRegistry& registry = GlobalKernelMetrics();
-    latency_us = &registry.GetHistogram("kernel." + kernel + ".latency_us");
-    dop = &registry.GetHistogram("kernel." + kernel + ".dop");
-    invocations = &registry.GetCounter("kernel." + kernel + ".invocations");
-    morsels = &registry.GetCounter("kernel." + kernel + ".morsels");
-  }
-};
-
-/// Counts one invocation and records its wall time on destruction.
-class KernelTimer {
- public:
-  explicit KernelTimer(KernelStats& stats) : stats_(stats) {
-    stats_.invocations->Increment();
-  }
-  ~KernelTimer() { stats_.latency_us->Record(watch_.ElapsedMicros()); }
-  KernelTimer(const KernelTimer&) = delete;
-  KernelTimer& operator=(const KernelTimer&) = delete;
-
- private:
-  KernelStats& stats_;
-  Stopwatch watch_;
-};
-
-/// Records one morsel loop: how many morsels it covered and the worker count
-/// ParallelFor actually achieved (the degree of parallelism).
 void RecordLoop(KernelStats& stats, size_t total, size_t morsel_rows,
                 int workers) {
   stats.dop->Record(workers);
   stats.morsels->Increment(static_cast<int64_t>(
       total == 0 ? 0 : (total + morsel_rows - 1) / morsel_rows));
-}
-
-// ---------------------------------------------------------------------------
-// Shared helpers
-// ---------------------------------------------------------------------------
-
-/// splitmix64 finalizer: full-avalanche 64-bit mix. Top bits pick the join
-/// partition, low bits the hash-table slot, so the two are independent.
-inline uint64_t MixHash(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-template <typename T, typename U>
-bool CompareValues(T lhs, CompareOp op, U rhs, U rhs2) {
-  switch (op) {
-    case CompareOp::kEq:
-      return lhs == rhs;
-    case CompareOp::kNe:
-      return lhs != rhs;
-    case CompareOp::kLt:
-      return lhs < rhs;
-    case CompareOp::kLe:
-      return lhs <= rhs;
-    case CompareOp::kGt:
-      return lhs > rhs;
-    case CompareOp::kGe:
-      return lhs >= rhs;
-    case CompareOp::kBetween:
-      return lhs >= rhs && lhs <= rhs2;
-  }
-  return false;
 }
 
 Result<double> ValueAsDouble(const Value& value) {
@@ -168,7 +100,7 @@ std::vector<T> GatherValues(const std::vector<T>& src,
 /// Copies `rows` of `source` into a fresh column. The output is named
 /// `name_override` when non-empty, `source.name()` otherwise.
 ColumnPtr GatherColumn(const Column& source, const std::vector<uint32_t>& rows,
-                       const std::string& name_override = "") {
+                       const std::string& name_override) {
   const std::string& name =
       name_override.empty() ? source.name() : name_override;
   switch (source.type()) {
@@ -193,6 +125,10 @@ ColumnPtr GatherColumn(const Column& source, const std::vector<uint32_t>& rows,
   }
   return nullptr;
 }
+
+}  // namespace kernel_internal
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // Filter: predicate compilation + evaluation
@@ -322,30 +258,9 @@ Status EvalAtomInto(const Table& input, const Predicate& atom,
   return Status::Internal("unhandled column type");
 }
 
-/// One predicate atom lowered to raw pointers and resolved constants, so the
-/// morsel loop evaluates it branch-free (no variant access, no dictionary
-/// lookups, no per-row type dispatch).
-struct CompiledAtom {
-  enum class Kind {
-    kInt32Cmp,   ///< int32 column vs int64 constant(s)
-    kInt64Cmp,   ///< int64 column vs int64 constant(s)
-    kDoubleCmp,  ///< double column vs double constant(s)
-    kCodeEq,     ///< string codes == clo
-    kCodeNe,     ///< string codes != clo
-    kCodeRange,  ///< string codes in [clo, chi)
-    kAllRows,    ///< matches every row (Ne of an absent constant)
-    kNoRows,     ///< matches no row (Eq of an absent constant)
-  };
-  Kind kind = Kind::kNoRows;
-  CompareOp op = CompareOp::kEq;
-  const int32_t* i32 = nullptr;
-  const int64_t* i64 = nullptr;
-  const double* f64 = nullptr;
-  const int32_t* codes = nullptr;
-  int64_t ilo = 0, ihi = 0;
-  double dlo = 0, dhi = 0;
-  int32_t clo = 0, chi = 0;
-};
+}  // namespace
+
+namespace kernel_internal {
 
 /// Lowers `atom` against `input`. Mirrors EvalAtomInto exactly: same column
 /// lookup, same constant coercions, and the same error statuses in the same
@@ -521,6 +436,10 @@ void OrAtomInto(const CompiledAtom& atom, size_t begin, size_t len,
       return;
   }
 }
+
+}  // namespace kernel_internal
+
+namespace {
 
 /// Scalar reference filter (row-at-a-time atoms over full columns).
 Result<std::vector<uint32_t>> EvaluateFilterScalar(
@@ -959,18 +878,13 @@ Result<TablePtr> MaterializeJoinOutput(const Table& build, const Table& probe,
   return output;
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Aggregation
 // ---------------------------------------------------------------------------
 
-/// One aggregate input lowered to a typed pointer.
-struct AggInput {
-  enum class Kind { kCountStar, kInt32, kInt64, kDouble };
-  Kind kind = Kind::kCountStar;
-  const int32_t* i32 = nullptr;
-  const int64_t* i64 = nullptr;
-  const double* f64 = nullptr;
-};
+namespace kernel_internal {
 
 AggInput ClassifyAggInput(const ColumnPtr& column, size_t num_rows) {
   AggInput input;
@@ -997,52 +911,6 @@ AggInput ClassifyAggInput(const ColumnPtr& column, size_t num_rows) {
       return input;
   }
   return input;
-}
-
-/// Typed accumulator shared by both backends. Integer inputs accumulate in
-/// int64 (exact, order-insensitive); double inputs accumulate in double, so
-/// the result depends only on the per-group row order — which both backends
-/// fix as ascending input row.
-struct Acc {
-  int64_t isum = 0;
-  double dsum = 0;
-  int64_t count = 0;
-  int64_t imin = std::numeric_limits<int64_t>::max();
-  int64_t imax = std::numeric_limits<int64_t>::min();
-  double dmin = std::numeric_limits<double>::infinity();
-  double dmax = -std::numeric_limits<double>::infinity();
-};
-
-inline void UpdateAcc(const AggInput& input, size_t row, Acc& acc) {
-  switch (input.kind) {
-    case AggInput::Kind::kCountStar:
-      ++acc.count;
-      return;
-    case AggInput::Kind::kInt32: {
-      const int64_t v = input.i32[row];
-      acc.isum += v;
-      ++acc.count;
-      acc.imin = std::min(acc.imin, v);
-      acc.imax = std::max(acc.imax, v);
-      return;
-    }
-    case AggInput::Kind::kInt64: {
-      const int64_t v = input.i64[row];
-      acc.isum += v;
-      ++acc.count;
-      acc.imin = std::min(acc.imin, v);
-      acc.imax = std::max(acc.imax, v);
-      return;
-    }
-    case AggInput::Kind::kDouble: {
-      const double v = input.f64[row];
-      acc.dsum += v;
-      ++acc.count;
-      acc.dmin = std::min(acc.dmin, v);
-      acc.dmax = std::max(acc.dmax, v);
-      return;
-    }
-  }
 }
 
 /// Converts accumulators to output columns; shared so both backends apply
@@ -1120,6 +988,10 @@ Status AppendAggregateColumns(const std::vector<AggregateSpec>& aggregates,
   }
   return Status::OK();
 }
+
+}  // namespace kernel_internal
+
+namespace {
 
 Status ResolveAggregateColumns(const Table& input,
                                const std::vector<std::string>& group_by,

@@ -22,6 +22,8 @@ const char* PlanOpToString(PlanOp op) {
       return "project";
     case PlanOp::kLimit:
       return "limit";
+    case PlanOp::kFusedPipeline:
+      return "fused_pipeline";
   }
   return "?";
 }

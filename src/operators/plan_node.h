@@ -25,6 +25,7 @@ enum class PlanOp {
   kSort,
   kProject,
   kLimit,
+  kFusedPipeline,
 };
 
 const char* PlanOpToString(PlanOp op);
@@ -142,6 +143,10 @@ class JoinNode : public PlanNode {
       const std::vector<TablePtr>& inputs) const override;
   std::string label() const override;
 
+  const std::string& build_key() const { return build_key_; }
+  const std::string& probe_key() const { return probe_key_; }
+  const JoinOutputSpec& output_spec() const { return output_spec_; }
+
  private:
   std::string build_key_;
   std::string probe_key_;
@@ -161,6 +166,9 @@ class AggregateNode : public PlanNode {
       const std::vector<TablePtr>& inputs) const override;
   std::string label() const override;
 
+  const std::vector<std::string>& group_by() const { return group_by_; }
+  const std::vector<AggregateSpec>& aggregates() const { return aggregates_; }
+
  private:
   std::vector<std::string> group_by_;
   std::vector<AggregateSpec> aggregates_;
@@ -178,6 +186,8 @@ class SortNode : public PlanNode {
       const std::vector<TablePtr>& inputs) const override;
   std::string label() const override;
 
+  const std::vector<SortKey>& keys() const { return keys_; }
+
  private:
   std::vector<SortKey> keys_;
 };
@@ -193,6 +203,11 @@ class ProjectNode : public PlanNode {
       const std::vector<TablePtr>& inputs) const override;
   std::string label() const override;
 
+  const std::vector<std::string>& keep_columns() const { return keep_columns_; }
+  const std::vector<ArithmeticExpr>& expressions() const {
+    return expressions_;
+  }
+
  private:
   std::vector<std::string> keep_columns_;
   std::vector<ArithmeticExpr> expressions_;
@@ -207,6 +222,8 @@ class LimitNode : public PlanNode {
   Result<TablePtr> ComputeResult(
       const std::vector<TablePtr>& inputs) const override;
   std::string label() const override;
+
+  size_t limit() const { return limit_; }
 
  private:
   size_t limit_;

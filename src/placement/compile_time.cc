@@ -34,6 +34,10 @@ double EstimateOutputBytes(const PlanNode& node,
       return child_bytes[0];
     case PlanOp::kLimit:
       return std::min(child_bytes[0], 4096.0);
+    case PlanOp::kFusedPipeline:
+      // Source (child 0) flows through the fused chain's selections and
+      // probes; build sides only feed hash tables.
+      return child_bytes.empty() ? 0 : child_bytes[0] * kSelectSelectivity;
   }
   return child_bytes.empty() ? 0 : child_bytes[0];
 }

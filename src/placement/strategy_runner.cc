@@ -1,6 +1,8 @@
 #include "placement/strategy_runner.h"
 
+#include "common/config.h"
 #include "common/logging.h"
+#include "engine/pipeline_builder.h"
 #include "placement/compile_time.h"
 #include "placement/runtime.h"
 
@@ -85,8 +87,13 @@ Result<TablePtr> StrategyRunner::RunQuery(const PlanNodePtr& root,
 
 Result<TablePtr> StrategyRunner::RunQuery(const PlanNodePtr& root,
                                           QueryControls controls) {
+  // Pipeline fusion (DESIGN.md §11): rewrite fusable chains into
+  // FusedPipeline nodes unless disabled. OptimizePlan declines the rewrite
+  // when the caller registered stats against a different (unfused) plan —
+  // callers that want fused attribution fuse before MakeQueryStats.
+  PlanNodePtr plan = OptimizePlan(root, controls.stats.get());
   if (chopping_ != nullptr) {
-    return chopping_->ExecuteQuery(root, placer_, std::move(controls));
+    return chopping_->ExecuteQuery(plan, placer_, std::move(controls));
   }
   // Compile-time path: the operator-at-a-time executor has no mid-flight
   // checkpoints, so honour the controls where we can — before starting.
@@ -101,22 +108,22 @@ Result<TablePtr> StrategyRunner::RunQuery(const PlanNodePtr& root,
   PlacementMap placement;
   switch (strategy_) {
     case Strategy::kCpuOnly:
-      placement = PlaceCpuOnly(root);
+      placement = PlaceCpuOnly(plan);
       break;
     case Strategy::kGpuOnly:
-      placement = PlaceGpuOnly(root);
+      placement = PlaceGpuOnly(plan);
       break;
     case Strategy::kCriticalPath:
-      placement = PlaceCriticalPath(root, *ctx_);
+      placement = PlaceCriticalPath(plan, *ctx_);
       break;
     case Strategy::kDataDriven:
-      placement = PlaceDataDriven(root, *ctx_);
+      placement = PlaceDataDriven(plan, *ctx_);
       break;
     default:
       return Status::Internal("runtime strategy without executor");
   }
   QueryExecutor executor(ctx_);
-  return executor.Execute(root, placement, std::move(stats));
+  return executor.Execute(plan, placement, std::move(stats));
 }
 
 void StrategyRunner::RefreshDataPlacement() {

@@ -28,7 +28,9 @@ class StrategyRunner {
   /// Same, attributing resources to `stats` (EXPLAIN ANALYZE, per-query
   /// workload breakdowns). Register the plan's nodes first with
   /// MakeQueryStats(root), or pass an empty QueryStats and the executor
-  /// registers them itself.
+  /// registers them itself. To get fused execution *and* per-node stats,
+  /// call OptimizePlan(root) before MakeQueryStats — stats registered
+  /// against the unfused plan make the runner decline the fusion rewrite.
   Result<TablePtr> RunQuery(const PlanNodePtr& root, QueryStatsPtr stats);
 
   /// Full-control variant (server/session path): cancel token, deadline, and

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "engine/pipeline_builder.h"
 #include "sql/planner.h"
 #include "telemetry/telemetry.h"
 
@@ -54,6 +55,10 @@ SessionPtr Server::OpenSession(const std::string& tenant) {
 std::future<Result<TablePtr>> Server::Submit(const std::string& tenant,
                                              PlanNodePtr plan,
                                              SubmitOptions options) {
+  // Fuse before stats registration so per-node attribution (and the plan
+  // the dispatcher executes) follow the rewritten shape. Declined when the
+  // caller pre-registered stats against the unfused plan.
+  plan = OptimizePlan(plan, options.stats.get());
   auto query = std::make_unique<QueuedQuery>();
   query->tenant = tenant;
   query->cost = options.cost;

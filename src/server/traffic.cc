@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "engine/pipeline_builder.h"
 #include "telemetry/histogram.h"
 #include "workload/user_sim.h"
 
@@ -100,6 +101,9 @@ void RunOpenLoopTenant(Server& server, const TenantTraffic& tenant,
       accum.failed.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    // Fuse before registering stats so Server::Submit keeps the rewrite
+    // (it declines fusion when stats are bound to a different plan).
+    plan.value() = OptimizePlan(plan.value());
     QueryStatsPtr stats = MakeQueryStats(plan.value());
     accum.offered.fetch_add(1, std::memory_order_relaxed);
     Pending p;
@@ -142,6 +146,7 @@ void RunClosedLoopTenant(Server& server, const TenantTraffic& tenant,
       accum.failed.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
+    plan.value() = OptimizePlan(plan.value());
     QueryStatsPtr stats = MakeQueryStats(plan.value());
     accum.offered.fetch_add(1, std::memory_order_relaxed);
     Result<TablePtr> result = session->Execute(

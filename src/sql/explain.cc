@@ -2,15 +2,33 @@
 
 #include <sstream>
 
+#include "operators/fused_pipeline.h"
 #include "telemetry/exporters.h"
 
 namespace hetdb {
 
 namespace {
 
-void RenderTextNode(const PlanNodePtr& node, int depth, std::ostream& os) {
+void Indent(int depth, std::ostream& os) {
   for (int i = 0; i < depth; ++i) os << "  ";
-  os << node->label() << '\n';
+}
+
+void RenderTextNode(const PlanNodePtr& node, int depth, std::ostream& os) {
+  Indent(depth, os);
+  if (node->op() == PlanOp::kFusedPipeline) {
+    // Render the fused group with its member operators indented underneath
+    // (top-down, the reading order of the rest of the tree) marked with '·'
+    // so they are not mistaken for plan children.
+    const auto& fused = static_cast<const FusedPipelineNode&>(*node);
+    os << "fused_pipeline (" << fused.members().size() << " ops)\n";
+    const auto& members = fused.members();
+    for (auto it = members.rbegin(); it != members.rend(); ++it) {
+      Indent(depth + 1, os);
+      os << "· " << (*it)->label() << '\n';
+    }
+  } else {
+    os << node->label() << '\n';
+  }
   for (const PlanNodePtr& child : node->children()) {
     RenderTextNode(child, depth + 1, os);
   }
@@ -18,7 +36,21 @@ void RenderTextNode(const PlanNodePtr& node, int depth, std::ostream& os) {
 
 void RenderJsonNode(const PlanNodePtr& node, std::ostream& os) {
   os << "{\"op\":\"" << PlanOpToString(node->op()) << "\",\"label\":\""
-     << JsonEscape(node->label()) << "\",\"children\":[";
+     << JsonEscape(node->label()) << "\"";
+  if (node->op() == PlanOp::kFusedPipeline) {
+    const auto& fused = static_cast<const FusedPipelineNode&>(*node);
+    os << ",\"members\":[";
+    const auto& members = fused.members();
+    bool first = true;
+    for (auto it = members.rbegin(); it != members.rend(); ++it) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"op\":\"" << PlanOpToString((*it)->op()) << "\",\"label\":\""
+         << JsonEscape((*it)->label()) << "\"}";
+    }
+    os << ']';
+  }
+  os << ",\"children\":[";
   bool first = true;
   for (const PlanNodePtr& child : node->children()) {
     if (!first) os << ',';

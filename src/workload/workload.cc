@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "engine/pipeline_builder.h"
 #include "telemetry/histogram.h"
 #include "workload/user_sim.h"
 
@@ -113,6 +114,9 @@ WorkloadRunResult RunWorkload(StrategyRunner& runner,
       return true;
     }
     admission.Acquire();
+    // Fuse before registering stats so attribution (and the run itself)
+    // follow the plan the runner will execute.
+    plan.value() = OptimizePlan(plan.value());
     QueryStatsPtr stats = MakeQueryStats(plan.value());
     stats->set_name(query.name);
     Stopwatch latency;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "engine/chopping_executor.h"
+#include "engine/pipeline_builder.h"
 #include "fault/circuit_breaker.h"
 #include "fault/fault_injector.h"
 #include "placement/runtime.h"
@@ -555,6 +556,89 @@ TEST(ChaosTest, ConcurrentSubmittersSurviveImmediateTeardown) {
       } else {
         EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
       }
+    }
+  }
+  EXPECT_EQ(ctx.simulator().device_heap().used(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fused pipelines under chaos (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+/// Explicitly pre-fused plan for a query, asserting it really fused.
+PlanNodePtr FusedChaosPlan(const std::string& query_name) {
+  PlanNodePtr fused = FusePipelines(ChaosPlan(query_name));
+  size_t fused_nodes = 0;
+  VisitPlanPostOrder(fused, [&fused_nodes](const PlanNodePtr& node) {
+    if (node->op() == PlanOp::kFusedPipeline) ++fused_nodes;
+  });
+  EXPECT_GE(fused_nodes, 1u) << query_name;
+  return fused;
+}
+
+/// Fused pipelines run as single device tasks, so a fault mid-pipeline
+/// classifies and retries/falls back like any operator: under mixed faults
+/// the fused plan must still match the fault-free unfused reference.
+TEST(ChaosTest, FusedPipelinesSurviveMixedFaultsWithParity) {
+  DatabasePtr db = ChaosDb();
+  for (Strategy strategy :
+       {Strategy::kGpuOnly, Strategy::kDataDrivenChopping}) {
+    EngineContext ctx(TestConfig(), db);
+    {
+      StrategyRunner runner(&ctx, strategy);
+      runner.RefreshDataPlacement();
+      FaultInjector& injector = ctx.simulator().fault_injector();
+      injector.Reseed(0xf0f0u + static_cast<uint64_t>(strategy));
+      injector.SetSchedule(
+          FaultSite::kDeviceAlloc,
+          FaultSchedule::WithProbability(FaultKind::kHeapExhausted, 0.3));
+      injector.SetSchedule(
+          FaultSite::kKernel,
+          FaultSchedule::WithProbability(FaultKind::kTransient, 0.2));
+      for (const char* name : kChaosQueries) {
+        TablePtr expected = Reference(name);  // fault-free CPU reference
+        for (int round = 0; round < 3; ++round) {
+          Result<TablePtr> result = runner.RunQuery(FusedChaosPlan(name));
+          ASSERT_TRUE(result.ok())
+              << StrategyToString(strategy) << " " << name << ": "
+              << result.status().ToString();
+          EXPECT_TRUE(TablesEqual(*expected, *result.value()))
+              << StrategyToString(strategy) << " " << name;
+        }
+      }
+      EXPECT_GT(injector.total_faults(), 0u) << StrategyToString(strategy);
+    }
+    EXPECT_EQ(ctx.simulator().device_heap().used(), 0u)
+        << StrategyToString(strategy);
+  }
+}
+
+/// Cancellation and deadlines apply to fused plans exactly as to unfused
+/// ones: a fused pipeline is one schedulable unit, checked at the same
+/// checkpoints, and never strands device memory.
+TEST(ChaosTest, FusedPipelineRespectsCancellationAndDeadline) {
+  DatabasePtr db = ChaosDb();
+  EngineContext ctx(TestConfig(), db);
+  {
+    ChoppingExecutor executor(&ctx, 2, 2);
+    {
+      QueryControls controls;
+      controls.cancel = CancelToken::Create();
+      controls.cancel.RequestCancel();
+      auto future =
+          executor.Submit(FusedChaosPlan("Q2.1"), MakeHypePlacer(), controls);
+      Result<TablePtr> result = future.get();
+      ASSERT_FALSE(result.ok());
+      EXPECT_TRUE(result.status().IsCancelled());
+    }
+    {
+      QueryControls controls;
+      controls.deadline =
+          std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+      Result<TablePtr> result = executor.ExecuteQuery(
+          FusedChaosPlan("Q2.1"), MakeHypePlacer(), controls);
+      ASSERT_FALSE(result.ok());
+      EXPECT_TRUE(result.status().IsCancelled());
     }
   }
   EXPECT_EQ(ctx.simulator().device_heap().used(), 0u);

@@ -111,6 +111,11 @@ TEST(StressTest, ChoppingExecutorSurvivesRapidSubmitCycles) {
 }
 
 TEST(StressTest, InjectedFailuresAreCountedAsAborts) {
+  // This test counts one abort per plan operator, so run the plan as-is:
+  // fusion would collapse the chain into a single schedulable node (its
+  // abort accounting is covered by tests/fused_pipeline_test.cc).
+  const bool saved_fusion = GlobalKernelConfig().fusion;
+  GlobalKernelConfig().fusion = false;
   DatabasePtr db = StressDb();
   EngineContext ctx(TestConfig(), db);
   StrategyRunner runner(&ctx, Strategy::kGpuOnly);
@@ -135,6 +140,7 @@ TEST(StressTest, InjectedFailuresAreCountedAsAborts) {
   EXPECT_EQ(ctx.metrics().gpu_operator_aborts(),
             CountPlanNodes(plan.value()) - scans);
   EXPECT_EQ(ctx.metrics().gpu_operators(), scans);
+  GlobalKernelConfig().fusion = saved_fusion;
 }
 
 }  // namespace

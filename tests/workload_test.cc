@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/config.h"
 #include "ssb/ssb_generator.h"
 #include "tests/test_util.h"
 #include "workload/workload.h"
@@ -107,6 +108,12 @@ TEST(WorkloadDriverTest, WarmupTrainsPlacementBeforeMeasurement) {
 /// for the concurrent operator footprint, GPU-only thrashes with aborts;
 /// chopping (1 device worker) avoids them; and both produce correct results.
 TEST(RobustnessTest, ChoppingAvoidsHeapContentionAborts) {
+  // This scenario needs the unfused selection chain: fusing it removes the
+  // intermediate selection-vector footprint entirely (zero heap charge for
+  // filter-only pipelines — see the fusion ablation in EXPERIMENTS.md), so
+  // with fusion on there is no contention left to measure.
+  const bool saved_fusion = GlobalKernelConfig().fusion;
+  GlobalKernelConfig().fusion = false;
   DatabasePtr db = SmallSsbDb();
   SystemConfig config = TestConfig();
   // Operators must genuinely overlap for contention to occur, so this test
@@ -141,6 +148,7 @@ TEST(RobustnessTest, ChoppingAvoidsHeapContentionAborts) {
   }
   EXPECT_GT(aborts_gpu_only, 0u);
   EXPECT_LT(aborts_chopping, aborts_gpu_only);
+  GlobalKernelConfig().fusion = saved_fusion;
 }
 
 TEST(WorkloadResultTest, ToStringMentionsKeyFields) {
