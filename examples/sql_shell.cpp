@@ -6,12 +6,13 @@
 //   ./build/examples/sql_shell            # interactive
 //   echo "SELECT ..." | ./build/examples/sql_shell
 //
-// Meta commands: \tables, \cache, \server, \deadline MS,
+// Meta commands: \tables, \cache, \devices, \server, \deadline MS,
 //                \trace SELECT ..., \flight [path], \quit
 // Statements: SELECT ..., EXPLAIN SELECT ..., EXPLAIN ANALYZE SELECT ...
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -146,7 +147,7 @@ void PrintSpanTree(const std::vector<TraceEvent>& events) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("HetDB SQL shell — generating SSB database (SF 1)...\n");
   SsbGeneratorOptions gen;
   gen.scale_factor = 1.0;
@@ -156,6 +157,12 @@ int main() {
   config.device_memory_bytes = 16ull << 20;
   config.device_cache_bytes = 10ull << 20;
   config.time_scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--devices" && i + 1 < argc) {
+      config.device_count = std::max(1, std::atoi(argv[++i]));
+    }
+  }
   EngineContext ctx(config, db);
   Server server(&ctx);  // Data-Driven Chopping behind admission control
   SessionPtr session = server.OpenSession("shell");
@@ -239,6 +246,30 @@ int main() {
                   ctx.cache().capacity_bytes());
       for (const std::string& key : ctx.cache().CachedKeys()) {
         std::printf("    %s\n", key.c_str());
+      }
+      continue;
+    }
+    if (line == "\\devices") {
+      auto breaker_name = [](DeviceCircuitBreaker::State state) {
+        switch (state) {
+          case DeviceCircuitBreaker::State::kClosed:
+            return "closed";
+          case DeviceCircuitBreaker::State::kOpen:
+            return "open";
+          case DeviceCircuitBreaker::State::kHalfOpen:
+            return "half-open";
+        }
+        return "?";
+      };
+      for (int d = 0; d < ctx.device_count(); ++d) {
+        DeviceAllocator& heap = ctx.simulator().device_heap(d);
+        std::printf(
+            "  device %d: %s  heap %zu/%zu bytes  cache %zu/%zu bytes  "
+            "breaker=%s detector=%s\n",
+            d, ctx.sharding().IsLive(d) ? "live" : "LOST", heap.used(),
+            heap.capacity(), ctx.cache(d).used_bytes(),
+            ctx.cache(d).capacity_bytes(), breaker_name(ctx.breaker(d).state()),
+            ThrashingDetector::StateName(ctx.detector(d).state()));
       }
       continue;
     }

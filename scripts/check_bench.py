@@ -21,6 +21,16 @@ how the host performs — and every sweep point must report its tenants.
 Usage:
   scripts/check_bench.py serve_slo.json --serve-slo [--shed-tolerance 0.0]
 
+With --scaleout the candidate is a fig18_scaleout JSON artifact and the gate
+checks multi-device sanity: every sweep point must finish its queries with
+zero failures and zero device aborts (the modeled machine has no real
+faults), and the largest device count must beat the 1-device point by at
+least --min-speedup (modeled time scales with device parallelism, so the
+floor holds on any host; CI's 2-device smoke uses a relaxed floor).
+
+Usage:
+  scripts/check_bench.py scaleout.json --scaleout [--min-speedup 1.5]
+
 Exit code 0 = within tolerance, 1 = regression, 2 = malformed input.
 """
 
@@ -116,6 +126,70 @@ def check_serve_slo(path, shed_tolerance):
     return 0
 
 
+def check_scaleout(path, min_speedup):
+    """Gate on a fig18_scaleout sweep artifact: clean runs, real scaling."""
+    try:
+        with open(path) as fp:
+            doc = json.load(fp)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    points = doc.get("points", [])
+    if not points:
+        print(f"error: {path} holds no sweep points", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'devices':<9}{'wall_ms':>10}{'speedup':>9}{'aborts':>8}"
+          f"{'failed':>8}")
+    by_devices = {}
+    for point in points:
+        devices = point.get("devices")
+        result = point.get("result", {})
+        if devices is None or "wall_millis" not in result:
+            failures.append(f"point {devices}: missing devices/wall_millis")
+            continue
+        by_devices[devices] = result
+        print(f"{devices:<9}{result['wall_millis']:>10.1f}"
+              f"{result.get('speedup', 0.0):>9.2f}"
+              f"{result.get('gpu_aborts', 0):>8}"
+              f"{result.get('failed_queries', 0):>8}")
+        if result.get("failed_queries", 0) != 0:
+            failures.append(
+                f"{devices} device(s): {result['failed_queries']} "
+                f"failed queries — scale-out must lose no queries")
+        if result.get("gpu_aborts", 0) != 0:
+            failures.append(
+                f"{devices} device(s): {result['gpu_aborts']} device "
+                f"aborts — the sweep machine models no faults")
+        if result.get("queries_run", 0) == 0:
+            failures.append(f"{devices} device(s): completed zero queries")
+
+    if 1 not in by_devices or len(by_devices) < 2:
+        failures.append("sweep must include a 1-device baseline and at "
+                        "least one multi-device point")
+    else:
+        top = max(by_devices)
+        base_ms = by_devices[1]["wall_millis"]
+        top_ms = by_devices[top]["wall_millis"]
+        speedup = base_ms / top_ms if top_ms > 0 else 0.0
+        if speedup < min_speedup:
+            failures.append(
+                f"{top}-device speedup {speedup:.2f}x over 1 device fell "
+                f"below the {min_speedup:.2f}x floor")
+        else:
+            print(f"\n{top}-device speedup over 1 device: {speedup:.2f}x "
+                  f"(floor {min_speedup:.2f}x)")
+
+    if failures:
+        print("\nREGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("OK: clean multi-device sweep, scaling floor met")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("candidate", help="fresh benchmark JSON to check")
@@ -126,6 +200,12 @@ def main():
                              "(default 0.5 — CI runners are noisy)")
     parser.add_argument("--serve-slo", action="store_true",
                         help="treat candidate as a serve_slo sweep artifact")
+    parser.add_argument("--scaleout", action="store_true",
+                        help="treat candidate as a fig18_scaleout artifact")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="multi-device speedup floor for --scaleout "
+                             "(default 1.5 — the 4-device acceptance bar; "
+                             "CI's 2-device smoke passes 1.15)")
     parser.add_argument("--shed-tolerance", type=float, default=0.0,
                         help="allowed shed rate at the lowest load point "
                              "(default 0.0)")
@@ -137,6 +217,8 @@ def main():
 
     if args.serve_slo:
         return check_serve_slo(args.candidate, args.shed_tolerance)
+    if args.scaleout:
+        return check_scaleout(args.candidate, args.min_speedup)
 
     baseline = load_medians(args.baseline)
     candidate = load_medians(args.candidate)

@@ -18,11 +18,13 @@ const char* EvictionPolicyToString(EvictionPolicy policy) {
 }
 
 DataCache::DataCache(size_t capacity_bytes, EvictionPolicy policy,
-                     Simulator* simulator, bool compress_entries)
+                     Simulator* simulator, bool compress_entries,
+                     int device_id)
     : capacity_bytes_(capacity_bytes),
       policy_(policy),
       simulator_(simulator),
-      compress_entries_(compress_entries) {
+      compress_entries_(compress_entries),
+      device_id_(device_id) {
   HETDB_CHECK(simulator_ != nullptr);
 }
 
@@ -133,7 +135,7 @@ DataCache::Access DataCache::RequireOnDevice(const ColumnPtr& column,
           transient_span.AddArg("bytes", static_cast<int64_t>(bytes));
         }
         Status transfer_status =
-            simulator_->bus().Transfer(bytes, TransferDirection::kHostToDevice);
+            simulator_->bus(device_id_).Transfer(bytes, TransferDirection::kHostToDevice);
         Access access;
         access.hit = false;
         access.resident = false;
@@ -153,7 +155,7 @@ DataCache::Access DataCache::RequireOnDevice(const ColumnPtr& column,
       admit_span.AddArg("bytes", static_cast<int64_t>(bytes));
     }
     Status transfer_status =
-        simulator_->bus().Transfer(bytes, TransferDirection::kHostToDevice);
+        simulator_->bus(device_id_).Transfer(bytes, TransferDirection::kHostToDevice);
     if (!transfer_status.ok()) {
       AbandonLoad(key);
       Access access;
@@ -327,7 +329,7 @@ void DataCache::RunPlacementJob(
   // Transfers outside the latch; queries seeing "loading" entries wait on
   // the per-entry latch, everything else proceeds.
   for (const auto& [key, column] : to_load) {
-    Status transfer_status = simulator_->bus().Transfer(
+    Status transfer_status = simulator_->bus(device_id_).Transfer(
         EntryBytes(*column), TransferDirection::kHostToDevice);
     if (!transfer_status.ok()) {
       // The column stays host-only this round; the next job run retries.
@@ -369,7 +371,7 @@ Status DataCache::Pin(const ColumnPtr& column, const std::string& key) {
     ++stats_.insertions;
   }
   Status transfer_status =
-      simulator_->bus().Transfer(bytes, TransferDirection::kHostToDevice);
+      simulator_->bus(device_id_).Transfer(bytes, TransferDirection::kHostToDevice);
   if (!transfer_status.ok()) {
     AbandonLoad(key);
     return transfer_status;
@@ -378,6 +380,36 @@ Status DataCache::Pin(const ColumnPtr& column, const std::string& key) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) it->second.ready = true;
+  }
+  load_cv_.notify_all();
+  return Status::OK();
+}
+
+Status DataCache::AdmitMigrated(const ColumnPtr& column,
+                                const std::string& key) {
+  const size_t bytes = EntryBytes(*column);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.pinned = true;
+      it->second.pending_evict = false;
+      return Status::OK();
+    }
+    if (!EvictUntilFits(bytes)) {
+      return Status::ResourceExhausted("cannot admit migrated " + key + ": " +
+                                       std::to_string(bytes) +
+                                       " bytes do not fit in cache");
+    }
+    Entry entry;
+    entry.column = column;
+    entry.bytes = bytes;
+    entry.ready = true;  // bytes already on-device via the D2D path
+    entry.pinned = true;
+    entry.last_access = ++access_clock_;
+    entries_[key] = std::move(entry);
+    used_bytes_ += bytes;
+    ++stats_.insertions;
   }
   load_cv_.notify_all();
   return Status::OK();
@@ -410,6 +442,20 @@ DataCacheStats DataCache::stats() const {
 void DataCache::ResetStats() {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_ = DataCacheStats();
+}
+
+std::vector<std::pair<std::string, ColumnPtr>> DataCache::ResidentColumns()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, ColumnPtr>> resident;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.ready && !entry.pending_evict) {
+      resident.emplace_back(key, entry.column);
+    }
+  }
+  std::sort(resident.begin(), resident.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return resident;
 }
 
 std::vector<std::string> DataCache::CachedKeys() const {

@@ -56,8 +56,10 @@ struct DataCacheStats {
 /// on a per-entry latch rather than a global lock ("fine-grained latching").
 class DataCache {
  public:
+  /// `device_id` selects which device this cache (and its transfers) belong
+  /// to; all loads go over that device's PCIe link.
   DataCache(size_t capacity_bytes, EvictionPolicy policy, Simulator* simulator,
-            bool compress_entries = false);
+            bool compress_entries = false, int device_id = 0);
   ~DataCache();
 
   DataCache(const DataCache&) = delete;
@@ -125,6 +127,11 @@ class DataCache {
   /// Pins/unpins an entry manually (e.g. warm-up in benchmarks).
   Status Pin(const ColumnPtr& column, const std::string& key);
 
+  /// Inserts `column` as a ready, pinned entry *without* a bus transfer —
+  /// for cross-device rebalancing, where the bytes already arrived over the
+  /// D2D path and charging this device's PCIe link again would double-count.
+  Status AdmitMigrated(const ColumnPtr& column, const std::string& key);
+
   /// Drops every droppable entry (leased entries are marked for eviction).
   void Clear();
 
@@ -136,6 +143,12 @@ class DataCache {
 
   /// Keys currently cached and ready (diagnostics, tests).
   std::vector<std::string> CachedKeys() const;
+
+  /// Cached-and-ready columns with their source ColumnPtr (rebalancing:
+  /// a tripped device's resident set is re-pinned on survivors).
+  std::vector<std::pair<std::string, ColumnPtr>> ResidentColumns() const;
+
+  int device_id() const { return device_id_; }
 
   /// Bytes one cache entry for `column` occupies (compressed when entry
   /// compression is on).
@@ -173,6 +186,7 @@ class DataCache {
   const EvictionPolicy policy_;
   Simulator* simulator_;
   const bool compress_entries_;
+  const int device_id_;
 
   mutable std::mutex mutex_;
   std::condition_variable load_cv_;  // per-entry "ready" latch

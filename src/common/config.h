@@ -43,9 +43,16 @@ struct SystemConfig {
   /// Portion of device memory reserved as the column data cache. The heap
   /// available to operators is device_memory_bytes - device_cache_bytes.
   size_t device_cache_bytes = 16ull << 20;
-  /// Device worker slots used by the chopping executor; this is the upper
-  /// bound on concurrently running device operators (Section 5.2).
+  /// Device worker slots used by the chopping executor *per device*; this is
+  /// the upper bound on concurrently running operators on one device
+  /// (Section 5.2).
   int gpu_workers = 1;
+  /// Number of simulated co-processors. Each device gets its own heap
+  /// allocator of `device_heap_bytes()`, data cache of `device_cache_bytes`,
+  /// PCIe link, fault injector, circuit breaker, and thrashing detector —
+  /// the scale-out generalization of the paper's single-GPU machine
+  /// (DESIGN.md §12). The default reproduces the paper exactly.
+  int device_count = 1;
   /// Device kernels run at ~2.5x the throughput of the *entire* 4-worker CPU
   /// (i.e. ~10x one core) — the hot-cache speedup the paper observes in
   /// Figure 1 and consistent with He et al. This keeps the device clearly
@@ -65,6 +72,11 @@ struct SystemConfig {
   /// Multiplier (<1) applied to bandwidth for synchronous transfers that pay
   /// the pageable-staging penalty (Section 2.5.3).
   double pcie_sync_efficiency = 0.6;
+  /// Bandwidth of the dedicated device-to-device interconnect (NVLink-style)
+  /// between any pair of devices. 0 disables it: device-to-device traffic
+  /// then routes through the host, paying D2H on the source device's PCIe
+  /// link followed by H2D on the destination's (DESIGN.md §12).
+  double d2d_mbps = 0.0;
 
   // --- Fault tolerance -----------------------------------------------------
   /// Device retries granted to an operator whose device attempt failed with

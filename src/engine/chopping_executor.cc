@@ -14,12 +14,19 @@ ChoppingExecutor::ChoppingExecutor(EngineContext* ctx, int cpu_workers,
                                    int gpu_workers)
     : ctx_(ctx), cpu_workers_(cpu_workers), gpu_workers_(gpu_workers) {
   HETDB_CHECK(cpu_workers_ > 0 && gpu_workers_ > 0);
-  workers_.reserve(cpu_workers_ + gpu_workers_);
+  const int devices = ctx_->device_count();
+  ready_queues_.resize(1 + static_cast<size_t>(devices));
+  workers_.reserve(cpu_workers_ + gpu_workers_ * devices);
   for (int i = 0; i < cpu_workers_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(ProcessorKind::kCpu); });
+    workers_.emplace_back([this] { WorkerLoop(0); });
   }
-  for (int i = 0; i < gpu_workers_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(ProcessorKind::kGpu); });
+  // Each device gets its own pool: the pool size per device stays the heap
+  // contention knob, and N devices run N pools' worth of operators at once.
+  for (int d = 0; d < devices; ++d) {
+    for (int i = 0; i < gpu_workers_; ++i) {
+      workers_.emplace_back(
+          [this, d] { WorkerLoop(QueueIndex(ProcessorKind::kGpu, d)); });
+    }
   }
 }
 
@@ -68,6 +75,7 @@ std::future<Result<TablePtr>> ChoppingExecutor::Submit(PlanNodePtr root,
   }
   query->stats->set_query_id(query->query_id);
   query->stats->MarkSubmitted();
+  query->home_device = ctx_->sharding().QueryHomeDevice(*query->root);
   std::future<Result<TablePtr>> future = query->promise.get_future();
 
   {
@@ -122,7 +130,12 @@ Result<TablePtr> ChoppingExecutor::ExecuteQuery(PlanNodePtr root,
 
 size_t ChoppingExecutor::ReadyQueueDepth(ProcessorKind kind) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return ready_queues_[static_cast<int>(kind)].size();
+  if (kind == ProcessorKind::kCpu) return ready_queues_[0].size();
+  size_t depth = 0;
+  for (size_t q = 1; q < ready_queues_.size(); ++q) {
+    depth += ready_queues_[q].size();
+  }
+  return depth;
 }
 
 Status ChoppingExecutor::CheckRunnable(const QueryExecPtr& query) {
@@ -156,16 +169,54 @@ void ChoppingExecutor::ScheduleTask(const QueryExecPtr& query, OpTask* task) {
   inputs.reserve(task->children.size());
   for (OpTask* child : task->children) inputs.push_back(&child->result);
 
-  const ProcessorKind kind = query->placer(*task->node, inputs, *ctx_);
-  task->assigned = kind;
+  ProcessorKind kind = query->placer(*task->node, inputs, *ctx_);
 
-  // Track queue load for HyPE's completion-time estimates. The estimate
-  // includes the kernel only; transfers are second-order for load purposes.
   size_t input_bytes = 0;
   for (OperatorResult* input : inputs) input_bytes += input->table_bytes();
   if (task->node->op() == PlanOp::kScan) {
     input_bytes = task->node->InputBytes({});
   }
+
+  // Device-aware sharding: the placer decides CPU vs device, the sharding
+  // policy decides *which* device — preferring wherever the inputs already
+  // live, then affinity/round-robin to spread cold work. No admittable
+  // device demotes the operator to the CPU queue.
+  int device = 0;
+  if (kind == ProcessorKind::kGpu) {
+    std::vector<std::string> input_keys;
+    if (task->node->op() == PlanOp::kScan) {
+      const auto& scan = static_cast<const ScanNode&>(*task->node);
+      input_keys.reserve(scan.base_columns().size());
+      for (const auto& [key, column] : scan.base_columns()) {
+        input_keys.push_back(key);
+      }
+    }
+    std::vector<std::pair<int, size_t>> resident_inputs;
+    for (OperatorResult* input : inputs) {
+      if (input->location == ProcessorKind::kGpu) {
+        resident_inputs.emplace_back(input->device, input->table_bytes());
+      }
+    }
+    const int picked = ctx_->sharding().PickDevice(
+        input_keys, resident_inputs, input_bytes, query->home_device);
+    if (picked < 0) {
+      // No device admits work (breakers open or devices lost): the same
+      // short-circuit ExecuteWithFallback would take, decided one layer
+      // earlier — count it under the same metric.
+      ctx_->metrics()
+          .registry()
+          .GetCounter("breaker.short_circuits")
+          .Increment();
+      kind = ProcessorKind::kCpu;
+    } else {
+      device = picked;
+    }
+  }
+  task->assigned = kind;
+  task->device = device;
+
+  // Track queue load for HyPE's completion-time estimates. The estimate
+  // includes the kernel only; transfers are second-order for load purposes.
   task->load_estimate_micros =
       ctx_->cost_model().EstimateMicros(kind, task->node->op_class(),
                                         input_bytes);
@@ -175,6 +226,7 @@ void ChoppingExecutor::ScheduleTask(const QueryExecPtr& query, OpTask* task) {
     RecordInstantEvent(
         "place " + task->node->label(), "placement", query->query_id,
         {{"processor", ProcessorKindToString(kind)},
+         {"device", std::to_string(device)},
          {"load_estimate_us",
           std::to_string(static_cast<int64_t>(task->load_estimate_micros))}});
   }
@@ -193,7 +245,8 @@ void ChoppingExecutor::ScheduleTask(const QueryExecPtr& query, OpTask* task) {
       // results of only ~pool-size queries at a time instead of one
       // unconsumed result per admitted query — the memory bound that makes
       // the chopping pool an effective cure for heap contention.
-      ready_queues_[static_cast<int>(kind)].emplace_front(query, task);
+      ready_queues_[static_cast<size_t>(QueueIndex(kind, device))]
+          .emplace_front(query, task);
     }
   }
   if (dropped) {
@@ -205,8 +258,10 @@ void ChoppingExecutor::ScheduleTask(const QueryExecPtr& query, OpTask* task) {
   ready_cv_.notify_all();
 }
 
-void ChoppingExecutor::WorkerLoop(ProcessorKind kind) {
-  const int queue = static_cast<int>(kind);
+void ChoppingExecutor::WorkerLoop(int queue_index) {
+  const size_t queue = static_cast<size_t>(queue_index);
+  const ProcessorKind kind =
+      queue_index == 0 ? ProcessorKind::kCpu : ProcessorKind::kGpu;
   while (true) {
     QueryExecPtr query;
     OpTask* task = nullptr;
@@ -269,7 +324,7 @@ void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
   DopBudget::Token dop_token(&DopBudget::Global());
   Stopwatch run_watch;
   Result<ExecutedOperator> executed =
-      ExecuteWithFallback(*task->node, inputs, kind, *ctx_);
+      ExecuteWithFallback(*task->node, inputs, kind, *ctx_, task->device);
   query->stats->OnRun(static_cast<int64_t>(run_watch.ElapsedMicros()),
                       task->stats);
   if (!executed.ok()) {
@@ -293,7 +348,8 @@ void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
     if (task->result.location == ProcessorKind::kGpu &&
         !task->result.base_data) {
       Status copy_back = TransferWithRetry(
-          task->result.table_bytes(), TransferDirection::kDeviceToHost, *ctx_);
+          task->result.table_bytes(), TransferDirection::kDeviceToHost, *ctx_,
+          task->result.device);
       if (!copy_back.ok()) {
         task->result = OperatorResult();
         FailQuery(query, copy_back);

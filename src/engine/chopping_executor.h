@@ -105,6 +105,8 @@ class ChoppingExecutor {
     std::atomic<int> pending_children{0};
     OperatorResult result;
     ProcessorKind assigned = ProcessorKind::kCpu;
+    /// Target co-processor when `assigned == kGpu` (sharding policy pick).
+    int device = 0;
     double load_estimate_micros = 0;
     NodeStats* stats = nullptr;  ///< this operator's attribution slot
     /// When the task entered its ready queue (queue-wait measurement).
@@ -124,6 +126,9 @@ class ChoppingExecutor {
     /// Guards the promise: exactly one of {root success, FailQuery} wins.
     std::atomic<bool> done{false};
     uint64_t query_id = 0;  ///< stamps this query's trace spans
+    /// Sharding home (largest scan's affinity device); biases every device
+    /// pick so the query's tasks stay on one device.
+    int home_device = -1;
   };
 
   using QueryExecPtr = std::shared_ptr<QueryExec>;
@@ -137,9 +142,17 @@ class ChoppingExecutor {
 
   /// Places a ready task and pushes it into the chosen ready queue.
   void ScheduleTask(const QueryExecPtr& query, OpTask* task);
-  void WorkerLoop(ProcessorKind kind);
+  void WorkerLoop(int queue_index);
   void RunTask(const QueryExecPtr& query, OpTask* task, ProcessorKind kind);
   void FailQuery(const QueryExecPtr& query, const Status& status);
+
+  /// Ready-queue index: 0 is the CPU queue, 1 + d is device d's queue —
+  /// each device has its own queue and its own pool of `gpu_workers_`
+  /// threads, so a slow or tripped device cannot head-of-line-block work
+  /// bound for its siblings.
+  static int QueueIndex(ProcessorKind kind, int device) {
+    return kind == ProcessorKind::kCpu ? 0 : 1 + device;
+  }
 
   EngineContext* ctx_;
   const int cpu_workers_;
@@ -147,7 +160,7 @@ class ChoppingExecutor {
 
   mutable std::mutex mutex_;
   std::condition_variable ready_cv_;
-  std::deque<std::pair<QueryExecPtr, OpTask*>> ready_queues_[2];
+  std::vector<std::deque<std::pair<QueryExecPtr, OpTask*>>> ready_queues_;
   bool shutting_down_ = false;
   /// Every submitted query, so the destructor can fail stragglers whose
   /// promise was never settled. Expired entries are pruned on Submit.

@@ -2,6 +2,8 @@
 #define HETDB_ENGINE_ENGINE_CONTEXT_H_
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "cache/data_cache.h"
 #include "common/config.h"
@@ -9,6 +11,7 @@
 #include "hype/cost_model.h"
 #include "hype/load_tracker.h"
 #include "hype/scheduler.h"
+#include "placement/sharding.h"
 #include "sim/simulator.h"
 #include "storage/database.h"
 #include "telemetry/detector.h"
@@ -18,44 +21,69 @@
 namespace hetdb {
 
 /// Owns the full runtime state of one HetDB instance: the simulated machine,
-/// the device data cache, the HyPE optimizer state, and telemetry (metric
+/// the per-device data caches / circuit breakers / thrashing detectors, the
+/// device sharding policy, the HyPE optimizer state, and telemetry (metric
 /// registry + workload counters; trace recording is process-global, see
 /// telemetry/trace_recorder.h).
 ///
 /// Benchmarks construct one EngineContext per experimental configuration;
-/// executors and placement strategies all operate against it.
+/// executors and placement strategies all operate against it. The no-arg
+/// `cache()` / `breaker()` / `detector()` accessors return device 0's unit,
+/// which on the default single-device machine is the whole story — the
+/// multi-device-aware layers index explicitly.
 class EngineContext {
  public:
   EngineContext(const SystemConfig& config, DatabasePtr database,
                 EvictionPolicy cache_policy = EvictionPolicy::kLfu)
       : simulator_(std::make_unique<Simulator>(config)),
-        cache_(std::make_unique<DataCache>(config.device_cache_bytes,
-                                           cache_policy, simulator_.get(),
-                                           config.compress_device_cache)),
         cost_model_(std::make_unique<CostModel>(simulator_.get())),
         load_tracker_(std::make_unique<LoadTracker>()),
         scheduler_(std::make_unique<HypeScheduler>(
             cost_model_.get(), load_tracker_.get(), simulator_.get())),
         telemetry_(std::make_unique<Telemetry>()),
         flight_recorder_(std::make_unique<FlightRecorder>()),
-        detector_(std::make_unique<ThrashingDetector>(
-            ThrashingDetector::Options(), &telemetry_->registry(),
-            flight_recorder_.get())),
-        breaker_(std::make_unique<DeviceCircuitBreaker>(
-            DeviceCircuitBreaker::Options(), &telemetry_->registry(),
-            flight_recorder_.get())),
         database_(std::move(database)) {
-    // Fault-injection counters surface in this context's metric exports, and
-    // fault episodes land in the flight recorder's post-mortem history.
-    simulator_->fault_injector().BindMetrics(&telemetry_->registry());
-    simulator_->fault_injector().BindFlightRecorder(flight_recorder_.get());
+    const int devices = simulator_->device_count();
+    caches_.reserve(static_cast<size_t>(devices));
+    detectors_.reserve(static_cast<size_t>(devices));
+    breakers_.reserve(static_cast<size_t>(devices));
+    for (int d = 0; d < devices; ++d) {
+      // Device 0 keeps the legacy un-prefixed metric names, so the
+      // single-device dashboards/tests are byte-identical to before.
+      const std::string prefix =
+          d == 0 ? "" : "device" + std::to_string(d) + ".";
+      caches_.push_back(std::make_unique<DataCache>(
+          config.device_cache_bytes, cache_policy, simulator_.get(),
+          config.compress_device_cache, d));
+      detectors_.push_back(std::make_unique<ThrashingDetector>(
+          ThrashingDetector::Options(), &telemetry_->registry(),
+          flight_recorder_.get(), prefix));
+      breakers_.push_back(std::make_unique<DeviceCircuitBreaker>(
+          DeviceCircuitBreaker::Options(), &telemetry_->registry(),
+          flight_recorder_.get(), prefix));
+      // Fault-injection counters surface in this context's metric exports,
+      // and fault episodes land in the flight recorder's history.
+      simulator_->fault_injector(d).BindMetrics(&telemetry_->registry());
+      simulator_->fault_injector(d).BindFlightRecorder(flight_recorder_.get());
+    }
+    std::vector<DataCache*> cache_ptrs;
+    std::vector<DeviceCircuitBreaker*> breaker_ptrs;
+    for (int d = 0; d < devices; ++d) {
+      cache_ptrs.push_back(caches_[static_cast<size_t>(d)].get());
+      breaker_ptrs.push_back(breakers_[static_cast<size_t>(d)].get());
+    }
+    sharding_ = std::make_unique<DeviceShardingPolicy>(
+        simulator_.get(), std::move(cache_ptrs), std::move(breaker_ptrs));
   }
 
   EngineContext(const EngineContext&) = delete;
   EngineContext& operator=(const EngineContext&) = delete;
 
   Simulator& simulator() { return *simulator_; }
-  DataCache& cache() { return *cache_; }
+  int device_count() const { return simulator_->device_count(); }
+  DataCache& cache(int device = 0) {
+    return *caches_[static_cast<size_t>(device)];
+  }
   CostModel& cost_model() { return *cost_model_; }
   LoadTracker& load_tracker() { return *load_tracker_; }
   HypeScheduler& scheduler() { return *scheduler_; }
@@ -63,58 +91,95 @@ class EngineContext {
   /// Workload counters live on the telemetry bundle; `metrics()` remains as
   /// the established spelling at the recording sites.
   Telemetry& metrics() { return *telemetry_; }
-  /// Abort-storm circuit breaker gating device placement and execution.
-  DeviceCircuitBreaker& breaker() { return *breaker_; }
+  /// Abort-storm circuit breaker gating placement/execution on `device`.
+  DeviceCircuitBreaker& breaker(int device = 0) {
+    return *breakers_[static_cast<size_t>(device)];
+  }
   /// Always-on ring buffer of recent query summaries and state transitions.
   FlightRecorder& flight_recorder() { return *flight_recorder_; }
-  /// Live classifier of the paper's heap-contention / cache-thrashing modes.
-  ThrashingDetector& detector() { return *detector_; }
+  /// Live classifier of the paper's heap-contention / cache-thrashing modes
+  /// on `device`.
+  ThrashingDetector& detector(int device = 0) {
+    return *detectors_[static_cast<size_t>(device)];
+  }
+  /// Column affinity, operator->device placement, and loss rebalancing.
+  DeviceShardingPolicy& sharding() { return *sharding_; }
   const DatabasePtr& database() const { return database_; }
   const SystemConfig& config() const { return simulator_->config(); }
 
-  /// Feeds the thrashing detector one observation window from the engine's
-  /// cumulative counters. The executors call this once per finished query.
-  void NoteQueryFinished() {
-    const DataCacheStats cache_stats = cache_->stats();
-    ThrashingDetector::Sample sample;
-    sample.cache_hits = static_cast<int64_t>(cache_stats.hits);
-    sample.cache_misses = static_cast<int64_t>(cache_stats.misses);
-    sample.cache_evictions = static_cast<int64_t>(cache_stats.evictions);
-    sample.gpu_aborts =
-        static_cast<int64_t>(telemetry_->gpu_operator_aborts());
-    // Successes + aborts = device launches attempted.
-    sample.gpu_attempts = sample.gpu_aborts +
-                          static_cast<int64_t>(telemetry_->gpu_operators());
-    sample.failed_allocations =
-        static_cast<int64_t>(simulator_->device_heap().failed_allocations());
-    sample.heap_used_bytes =
-        static_cast<int64_t>(simulator_->device_heap().used());
-    sample.heap_capacity_bytes =
-        static_cast<int64_t>(simulator_->device_heap().capacity());
-    detector_->Update(sample);
+  /// True while at least one device is live with a non-open breaker — the
+  /// any-device generalization the run-time placers gate on.
+  bool AnyDeviceAvailable() {
+    for (int d = 0; d < device_count(); ++d) {
+      if (sharding_->IsLive(d) && breakers_[static_cast<size_t>(d)]
+              ->device_available()) {
+        return true;
+      }
+    }
+    return false;
   }
 
-  /// Clears all per-run statistics (bus, allocator, cache, metrics) while
-  /// keeping cache contents and learned cost models.
+  /// True iff `key` is resident in any device's data cache (data-driven
+  /// placement test, generalized over the sharded caches).
+  bool IsCachedOnAnyDevice(const std::string& key) const {
+    for (const auto& cache : caches_) {
+      if (cache->IsCached(key)) return true;
+    }
+    return false;
+  }
+
+  /// Feeds each device's thrashing detector one observation window from the
+  /// engine's cumulative counters. The executors call this once per
+  /// finished query.
+  void NoteQueryFinished() {
+    for (int d = 0; d < device_count(); ++d) {
+      const DataCacheStats cache_stats =
+          caches_[static_cast<size_t>(d)]->stats();
+      ThrashingDetector::Sample sample;
+      sample.cache_hits = static_cast<int64_t>(cache_stats.hits);
+      sample.cache_misses = static_cast<int64_t>(cache_stats.misses);
+      sample.cache_evictions = static_cast<int64_t>(cache_stats.evictions);
+      sample.gpu_aborts =
+          static_cast<int64_t>(telemetry_->gpu_operator_aborts(d));
+      // Successes + aborts = device launches attempted.
+      sample.gpu_attempts =
+          sample.gpu_aborts +
+          static_cast<int64_t>(telemetry_->gpu_operators(d));
+      sample.failed_allocations = static_cast<int64_t>(
+          simulator_->device_heap(d).failed_allocations());
+      sample.heap_used_bytes =
+          static_cast<int64_t>(simulator_->device_heap(d).used());
+      sample.heap_capacity_bytes =
+          static_cast<int64_t>(simulator_->device_heap(d).capacity());
+      detectors_[static_cast<size_t>(d)]->Update(sample);
+    }
+  }
+
+  /// Clears all per-run statistics (buses, allocators, caches, metrics)
+  /// while keeping cache contents and learned cost models.
   void ResetRunStats() {
-    simulator_->bus().ResetStats();
-    simulator_->device_heap().ResetStats();
-    simulator_->fault_injector().ResetStats();
-    cache_->ResetStats();
+    for (int d = 0; d < device_count(); ++d) {
+      simulator_->bus(d).ResetStats();
+      simulator_->device_heap(d).ResetStats();
+      simulator_->fault_injector(d).ResetStats();
+      caches_[static_cast<size_t>(d)]->ResetStats();
+      detectors_[static_cast<size_t>(d)]->Reset();
+    }
+    simulator_->ResetD2DStats();
     telemetry_->Reset();
-    detector_->Reset();
   }
 
  private:
   std::unique_ptr<Simulator> simulator_;
-  std::unique_ptr<DataCache> cache_;
+  std::vector<std::unique_ptr<DataCache>> caches_;
   std::unique_ptr<CostModel> cost_model_;
   std::unique_ptr<LoadTracker> load_tracker_;
   std::unique_ptr<HypeScheduler> scheduler_;
   std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<FlightRecorder> flight_recorder_;  // after telemetry_
-  std::unique_ptr<ThrashingDetector> detector_;      // after flight_recorder_
-  std::unique_ptr<DeviceCircuitBreaker> breaker_;    // after flight_recorder_
+  std::vector<std::unique_ptr<ThrashingDetector>> detectors_;  // after recorder
+  std::vector<std::unique_ptr<DeviceCircuitBreaker>> breakers_;
+  std::unique_ptr<DeviceShardingPolicy> sharding_;  // after caches/breakers
   DatabasePtr database_;
 };
 

@@ -28,6 +28,8 @@ void AttributeOutcome(const std::vector<OperatorResult*>& inputs,
   if (stats == nullptr) return;
   stats->ran_on.store(ran_on == ProcessorKind::kGpu ? 1 : 0,
                       std::memory_order_relaxed);
+  stats->device.store(ran_on == ProcessorKind::kGpu ? result.device : -1,
+                      std::memory_order_relaxed);
   int64_t rows_in = 0;
   for (const OperatorResult* input : inputs) {
     if (input != nullptr && input->table != nullptr) {
@@ -54,8 +56,9 @@ Result<OperatorResult> ExecuteOnCpu(const PlanNode& node,
       // Intermediate result produced on the device: copy it back. This is
       // the cost a compile-time plan pays when a device operator aborted and
       // its successor was left on the other processor (Figure 8).
-      HETDB_RETURN_NOT_OK(TransferWithRetry(
-          input->table_bytes(), TransferDirection::kDeviceToHost, ctx));
+      HETDB_RETURN_NOT_OK(TransferWithRetry(input->table_bytes(),
+                                           TransferDirection::kDeviceToHost,
+                                           ctx, input->device));
       input->ReleaseDeviceResources();
       input->location = ProcessorKind::kCpu;
     }
@@ -93,8 +96,8 @@ Result<OperatorResult> ExecuteOnCpu(const PlanNode& node,
 /// Returns non-OK when the launch must fail; a latency spike instead charges
 /// the extra modeled kernel time and succeeds.
 Status CheckKernelLaunch(const PlanNode& node, size_t input_bytes,
-                         EngineContext& ctx) {
-  FaultInjector& injector = ctx.simulator().fault_injector();
+                         EngineContext& ctx, int device) {
+  FaultInjector& injector = ctx.simulator().fault_injector(device);
   if (!injector.enabled()) return Status::OK();
   const FaultDecision fault =
       injector.Decide(FaultSite::kKernel, input_bytes);
@@ -115,23 +118,25 @@ Status CheckKernelLaunch(const PlanNode& node, size_t input_bytes,
 /// Device execution with staged allocation; see the header for the phases.
 Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
                                     const std::vector<OperatorResult*>& inputs,
-                                    EngineContext& ctx) {
+                                    EngineContext& ctx, int device) {
   Stopwatch abort_watch;
-  DeviceAllocator& heap = ctx.simulator().device_heap();
+  DeviceAllocator& heap = ctx.simulator().device_heap(device);
 
   auto abort_with = [&](const Status& status) -> Status {
-    ctx.metrics().RecordGpuAbort(abort_watch.ElapsedMicros());
+    ctx.metrics().RecordGpuAbort(abort_watch.ElapsedMicros(), device);
     return status;
   };
 
   OperatorResult result;
   result.location = ProcessorKind::kGpu;
+  result.device = device;
 
   // --- Scans: acquire base columns through the data cache -------------------
   if (node.op() == PlanOp::kScan) {
     const auto& scan = static_cast<const ScanNode&>(node);
     for (const auto& [key, column] : scan.base_columns()) {
-      DataCache::Access access = ctx.cache().RequireOnDevice(column, key);
+      DataCache::Access access =
+          ctx.cache(device).RequireOnDevice(column, key);
       if (!access.status.ok()) {
         // The load transfer faulted; the column is neither cached nor held.
         return abort_with(access.status);
@@ -146,16 +151,16 @@ Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
       // Cache cannot hold the column: it was transferred into device heap
       // for this operator only (the thrashing path). Hold the bytes.
       Result<DeviceAllocation> allocation = heap.Allocate(
-          ctx.cache().EntryBytes(*column), "transient input " + key);
+          ctx.cache(device).EntryBytes(*column), "transient input " + key);
       if (!allocation.ok()) return abort_with(allocation.status());
       result.device_allocations.push_back(std::move(allocation).value());
     }
-    Status launch = CheckKernelLaunch(node, node.InputBytes({}), ctx);
+    Status launch = CheckKernelLaunch(node, node.InputBytes({}), ctx, device);
     if (!launch.ok()) return abort_with(launch);
     HETDB_ASSIGN_OR_RETURN(TablePtr output, node.ComputeResult({}));
     result.table = std::move(output);
     result.base_data = true;
-    ctx.metrics().RecordOperator(/*on_gpu=*/true);
+    ctx.metrics().RecordOperator(/*on_gpu=*/true, device);
     return result;
   }
 
@@ -164,14 +169,27 @@ Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
   input_tables.reserve(inputs.size());
   for (OperatorResult* input : inputs) {
     HETDB_CHECK(input != nullptr && input->table != nullptr);
-    if (input->location != ProcessorKind::kGpu) {
-      // Host-resident input: allocate a device buffer and ship it over.
+    const bool on_this_device =
+        input->location == ProcessorKind::kGpu && input->device == device;
+    if (!on_this_device) {
+      // The bytes are not on this device yet: allocate a buffer here and
+      // bring them in over the cheapest correct path.
       Result<DeviceAllocation> allocation = heap.Allocate(
           input->table_bytes(), "device input for " + node.label());
       if (!allocation.ok()) return abort_with(allocation.status());
       result.device_allocations.push_back(std::move(allocation).value());
-      Status transfer = ctx.simulator().bus().Transfer(
-          input->table_bytes(), TransferDirection::kHostToDevice);
+      Status transfer;
+      if (input->location == ProcessorKind::kGpu && !input->base_data) {
+        // Intermediate result held by another device: migrate it over the
+        // D2D path (dedicated link, or D2H + H2D through the host).
+        transfer = ctx.simulator().TransferDeviceToDevice(
+            input->table_bytes(), input->device, device);
+      } else {
+        // Host-resident (or base data, which always has a host copy): ship
+        // it over this device's own PCIe link.
+        transfer = ctx.simulator().bus(device).Transfer(
+            input->table_bytes(), TransferDirection::kHostToDevice);
+      }
       if (!transfer.ok()) return abort_with(transfer);
     }
     input_tables.push_back(input->table);
@@ -188,13 +206,14 @@ Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
   }
 
   // --- Phase 3: kernel --------------------------------------------------------
-  Status launch = CheckKernelLaunch(node, node.InputBytes(input_tables), ctx);
+  Status launch =
+      CheckKernelLaunch(node, node.InputBytes(input_tables), ctx, device);
   if (!launch.ok()) return abort_with(launch);
   Stopwatch kernel_watch;
   HETDB_ASSIGN_OR_RETURN(TablePtr output, node.ComputeResult(input_tables));
   const size_t input_bytes = node.InputBytes(input_tables);
   ctx.simulator().ChargeCompute(ProcessorKind::kGpu, node.op_class(),
-                                input_bytes);
+                                input_bytes, device);
   AttributeKernelMicros(
       ProcessorKind::kGpu,
       ctx.simulator().EstimateComputeMicros(ProcessorKind::kGpu,
@@ -216,7 +235,7 @@ Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
   intermediates.Release();
 
   result.table = std::move(output);
-  ctx.metrics().RecordOperator(/*on_gpu=*/true);
+  ctx.metrics().RecordOperator(/*on_gpu=*/true, device);
   return result;
 }
 
@@ -225,16 +244,16 @@ Result<OperatorResult> ExecuteOnGpu(const PlanNode& node,
 Result<OperatorResult> ExecuteOperator(const PlanNode& node,
                                        const std::vector<OperatorResult*>& inputs,
                                        ProcessorKind processor,
-                                       EngineContext& ctx) {
+                                       EngineContext& ctx, int device) {
   if (processor == ProcessorKind::kCpu) {
     return ExecuteOnCpu(node, inputs, ctx);
   }
-  return ExecuteOnGpu(node, inputs, ctx);
+  return ExecuteOnGpu(node, inputs, ctx, device);
 }
 
 Result<ExecutedOperator> ExecuteWithFallback(
     const PlanNode& node, const std::vector<OperatorResult*>& inputs,
-    ProcessorKind processor, EngineContext& ctx) {
+    ProcessorKind processor, EngineContext& ctx, int device) {
   bool aborted = false;
   NodeStats* node_stats = QueryStatsScope::current_node();
   if (node_stats != nullptr) {
@@ -242,7 +261,7 @@ Result<ExecutedOperator> ExecuteWithFallback(
                                 std::memory_order_relaxed);
   }
   if (processor == ProcessorKind::kGpu) {
-    DeviceCircuitBreaker& breaker = ctx.breaker();
+    DeviceCircuitBreaker& breaker = ctx.breaker(device);
     const SystemConfig& config = ctx.config();
     if (!breaker.AllowDevice()) {
       // Breaker open: the device is aborting most operators right now, so
@@ -259,7 +278,7 @@ Result<ExecutedOperator> ExecuteWithFallback(
           node_stats->attempts.fetch_add(1, std::memory_order_relaxed);
         }
         Result<OperatorResult> device_try =
-            ExecuteOperator(node, inputs, ProcessorKind::kGpu, ctx);
+            ExecuteOperator(node, inputs, ProcessorKind::kGpu, ctx, device);
         if (device_try.ok()) {
           breaker.RecordDeviceSuccess();
           ExecutedOperator executed;
@@ -319,10 +338,10 @@ Result<ExecutedOperator> ExecuteWithFallback(
 }
 
 Status TransferWithRetry(size_t bytes, TransferDirection direction,
-                         EngineContext& ctx) {
+                         EngineContext& ctx, int device) {
   const SystemConfig& config = ctx.config();
   for (int attempt = 0;; ++attempt) {
-    Status status = ctx.simulator().bus().Transfer(bytes, direction);
+    Status status = ctx.simulator().bus(device).Transfer(bytes, direction);
     if (status.ok() || !status.IsUnavailable() ||
         attempt >= config.transfer_retry_limit) {
       return status;

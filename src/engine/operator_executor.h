@@ -27,6 +27,9 @@ struct OperatorResult {
   /// True for scan outputs: base columns always have a host copy, so a CPU
   /// consumer never pays a transfer even if the scan ran on the device.
   bool base_data = false;
+  /// Device holding the bytes when `location == kGpu` (leases/allocations
+  /// below belong to it). Meaningless for host-resident results.
+  int device = 0;
 
   std::vector<DataCache::Lease> cache_leases;
   std::vector<DeviceAllocation> device_allocations;
@@ -57,10 +60,14 @@ struct OperatorResult {
 /// elapsed time up to the abort is recorded as *wasted time* and all partial
 /// allocations are rolled back. The caller decides how to recover (the
 /// engine's fallback restarts the operator on the CPU, Section 2.5.1).
+/// `device` selects which co-processor a kGpu execution binds to (heap,
+/// cache, PCIe link, kernel lock, fault injector). Device-resident inputs
+/// living on *another* device are migrated over the D2D path (dedicated
+/// link or host-staged); host/base inputs pay H2D on `device`'s own link.
 Result<OperatorResult> ExecuteOperator(const PlanNode& node,
                                        const std::vector<OperatorResult*>& inputs,
                                        ProcessorKind processor,
-                                       EngineContext& ctx);
+                                       EngineContext& ctx, int device = 0);
 
 /// ExecuteOperator with the engine's full fault handling:
 ///
@@ -83,14 +90,14 @@ struct ExecutedOperator {
 };
 Result<ExecutedOperator> ExecuteWithFallback(
     const PlanNode& node, const std::vector<OperatorResult*>& inputs,
-    ProcessorKind processor, EngineContext& ctx);
+    ProcessorKind processor, EngineContext& ctx, int device = 0);
 
 /// Runs one bus transfer, retrying transient faults (Unavailable) up to
 /// `SystemConfig::transfer_retry_limit` times with exponential modeled
 /// backoff. For device-to-host result copy-backs, whose only recovery is the
 /// wire itself. Persistent faults return the clean non-OK status.
 Status TransferWithRetry(size_t bytes, TransferDirection direction,
-                         EngineContext& ctx);
+                         EngineContext& ctx, int device = 0);
 
 }  // namespace hetdb
 

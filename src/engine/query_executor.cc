@@ -17,6 +17,7 @@ Result<TablePtr> QueryExecutor::Execute(const PlanNodePtr& root,
   if (stats_->nodes().empty()) RegisterPlanNodes(stats_.get(), root);
   stats_->set_query_id(query_id_);
   stats_->MarkSubmitted();
+  home_device_ = ctx_->sharding().QueryHomeDevice(*root);
 
   Result<TablePtr> outcome = [&]() -> Result<TablePtr> {
     HETDB_ASSIGN_OR_RETURN(OperatorResult result,
@@ -25,8 +26,9 @@ Result<TablePtr> QueryExecutor::Execute(const PlanNodePtr& root,
     // the host: pay the copy-back (attributed to the query, no node).
     if (result.location == ProcessorKind::kGpu && !result.base_data) {
       QueryStatsScope scope(stats_, nullptr);
-      HETDB_RETURN_NOT_OK(TransferWithRetry(
-          result.table_bytes(), TransferDirection::kDeviceToHost, *ctx_));
+      HETDB_RETURN_NOT_OK(TransferWithRetry(result.table_bytes(),
+                                            TransferDirection::kDeviceToHost,
+                                            *ctx_, result.device));
       result.ReleaseDeviceResources();
     }
     return result.table;
@@ -83,8 +85,45 @@ Result<OperatorResult> QueryExecutor::ExecuteNode(
   for (OperatorResult& r : child_results) inputs.push_back(&r);
 
   auto it = placement.find(node.get());
-  const ProcessorKind processor =
+  ProcessorKind processor =
       it != placement.end() ? it->second : ProcessorKind::kCpu;
+
+  // The compile-time map fixes CPU vs device; *which* device is a run-time
+  // sharding decision (inputs' residency is only known now). No admittable
+  // device demotes the operator to the CPU, like a breaker short-circuit.
+  int device = 0;
+  if (processor == ProcessorKind::kGpu) {
+    std::vector<std::string> input_keys;
+    if (node->op() == PlanOp::kScan) {
+      const auto& scan = static_cast<const ScanNode&>(*node);
+      input_keys.reserve(scan.base_columns().size());
+      for (const auto& [key, column] : scan.base_columns()) {
+        input_keys.push_back(key);
+      }
+    }
+    std::vector<std::pair<int, size_t>> resident_inputs;
+    for (OperatorResult* input : inputs) {
+      if (input->location == ProcessorKind::kGpu) {
+        resident_inputs.emplace_back(input->device, input->table_bytes());
+      }
+    }
+    size_t input_bytes = 0;
+    for (OperatorResult* input : inputs) input_bytes += input->table_bytes();
+    const int picked = ctx_->sharding().PickDevice(
+        input_keys, resident_inputs, input_bytes, home_device_);
+    if (picked < 0) {
+      // No device admits work (breakers open or devices lost): the same
+      // short-circuit ExecuteWithFallback would take, decided one layer
+      // earlier — count it under the same metric.
+      ctx_->metrics()
+          .registry()
+          .GetCounter("breaker.short_circuits")
+          .Increment();
+      processor = ProcessorKind::kCpu;
+    } else {
+      device = picked;
+    }
+  }
 
   // Attribute this operator's transfers, allocations, and cache loads.
   NodeStats* node_stats = stats_->Find(node.get());
@@ -100,7 +139,7 @@ Result<OperatorResult> QueryExecutor::ExecuteNode(
   }
   Stopwatch run_watch;
   Result<ExecutedOperator> attempt =
-      ExecuteWithFallback(*node, inputs, processor, *ctx_);
+      ExecuteWithFallback(*node, inputs, processor, *ctx_, device);
   stats_->OnRun(static_cast<int64_t>(run_watch.ElapsedMicros()), node_stats);
   if (!attempt.ok()) {
     if (span.active()) span.AddArg("error", attempt.status().ToString());

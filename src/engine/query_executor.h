@@ -44,6 +44,9 @@ class QueryExecutor {
   EngineContext* ctx_;
   uint64_t query_id_ = 0;   ///< stamps this query's trace spans
   QueryStatsPtr stats_;     ///< attribution target of the running query
+  /// Sharding home of the running query (largest scan's affinity device);
+  /// biases every device pick so the query stays on one device.
+  int home_device_ = -1;
 };
 
 }  // namespace hetdb

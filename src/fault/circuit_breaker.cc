@@ -1,5 +1,7 @@
 #include "fault/circuit_breaker.h"
 
+#include <utility>
+
 namespace hetdb {
 
 const char* BreakerStateToString(DeviceCircuitBreaker::State state) {
@@ -19,8 +21,12 @@ DeviceCircuitBreaker::DeviceCircuitBreaker()
 
 DeviceCircuitBreaker::DeviceCircuitBreaker(const Options& options,
                                            MetricRegistry* registry,
-                                           FlightRecorder* recorder)
-    : options_(options), registry_(registry), recorder_(recorder) {
+                                           FlightRecorder* recorder,
+                                           std::string metric_prefix)
+    : options_(options),
+      registry_(registry),
+      recorder_(recorder),
+      metric_prefix_(std::move(metric_prefix)) {
   window_.assign(static_cast<size_t>(options_.window), false);
 }
 
@@ -32,7 +38,7 @@ void DeviceCircuitBreaker::Configure(const Options& options) {
   cooldown_denials_seen_ = probes_inflight_ = probe_successes_ = 0;
   state_ = State::kClosed;
   if (registry_ != nullptr) {
-    registry_->GetGauge("breaker.state").Set(static_cast<int>(state_));
+    registry_->GetGauge(metric_prefix_ + "breaker.state").Set(static_cast<int>(state_));
   }
 }
 
@@ -54,25 +60,25 @@ void DeviceCircuitBreaker::TransitionLocked(State next) {
   const State prev = state_;
   state_ = next;
   if (registry_ != nullptr) {
-    registry_->GetGauge("breaker.state").Set(static_cast<int>(state_));
+    registry_->GetGauge(metric_prefix_ + "breaker.state").Set(static_cast<int>(state_));
     registry_
-        ->GetCounter(std::string("breaker.transitions.") +
+        ->GetCounter(metric_prefix_ + "breaker.transitions." +
                      BreakerStateToString(state_))
         .Increment();
-    if (next == State::kOpen) registry_->GetCounter("breaker.trips").Increment();
+    if (next == State::kOpen) registry_->GetCounter(metric_prefix_ + "breaker.trips").Increment();
   }
   if (recorder_ != nullptr) {
-    recorder_->RecordStateTransition("breaker", BreakerStateToString(prev),
+    recorder_->RecordStateTransition(metric_prefix_ + "breaker", BreakerStateToString(prev),
                                      BreakerStateToString(next));
     // The trip is the post-mortem moment: freeze the recent history now,
     // while the queries that drove the abort storm are still in the ring.
-    if (next == State::kOpen) recorder_->AutoDump("breaker_trip");
+    if (next == State::kOpen) recorder_->AutoDump(metric_prefix_ + "breaker_trip");
   }
 }
 
 void DeviceCircuitBreaker::DenyLocked() {
   ++denials_;
-  if (registry_ != nullptr) registry_->GetCounter("breaker.denials").Increment();
+  if (registry_ != nullptr) registry_->GetCounter(metric_prefix_ + "breaker.denials").Increment();
   ++cooldown_denials_seen_;
   if (cooldown_denials_seen_ >= options_.cooldown_denials) {
     TransitionLocked(State::kHalfOpen);
@@ -96,7 +102,7 @@ bool DeviceCircuitBreaker::AllowDevice() {
       }
       ++denials_;
       if (registry_ != nullptr) {
-        registry_->GetCounter("breaker.denials").Increment();
+        registry_->GetCounter(metric_prefix_ + "breaker.denials").Increment();
       }
       return false;
   }
@@ -191,7 +197,7 @@ void DeviceCircuitBreaker::Reset() {
   cooldown_denials_seen_ = probes_inflight_ = probe_successes_ = 0;
   state_ = State::kClosed;
   if (registry_ != nullptr) {
-    registry_->GetGauge("breaker.state").Set(static_cast<int>(state_));
+    registry_->GetGauge(metric_prefix_ + "breaker.state").Set(static_cast<int>(state_));
   }
 }
 

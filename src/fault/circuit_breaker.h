@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "telemetry/flight_recorder.h"
@@ -64,10 +65,13 @@ class DeviceCircuitBreaker {
   DeviceCircuitBreaker();  // default options, no metrics
   /// `recorder` (optional) receives every state transition; a trip to kOpen
   /// additionally triggers an automatic flight-recorder dump so the ring's
-  /// history around the abort storm is preserved.
+  /// history around the abort storm is preserved. `metric_prefix` is
+  /// prepended to every exported metric name — empty for device 0 (the
+  /// legacy single-device names), "deviceN." for later devices.
   explicit DeviceCircuitBreaker(const Options& options,
                                 MetricRegistry* registry = nullptr,
-                                FlightRecorder* recorder = nullptr);
+                                FlightRecorder* recorder = nullptr,
+                                std::string metric_prefix = "");
 
   DeviceCircuitBreaker(const DeviceCircuitBreaker&) = delete;
   DeviceCircuitBreaker& operator=(const DeviceCircuitBreaker&) = delete;
@@ -115,6 +119,7 @@ class DeviceCircuitBreaker {
   uint64_t denials_ = 0;
   MetricRegistry* registry_ = nullptr;
   FlightRecorder* recorder_ = nullptr;
+  std::string metric_prefix_;
 };
 
 const char* BreakerStateToString(DeviceCircuitBreaker::State state);

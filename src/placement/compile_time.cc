@@ -76,7 +76,7 @@ struct PlanCostEstimator {
         const auto& scan = static_cast<const ScanNode&>(*node);
         size_t missing = 0;
         for (const auto& [key, column] : scan.base_columns()) {
-          if (!ctx.cache().IsCached(key)) missing += column->data_bytes();
+          if (!ctx.IsCachedOnAnyDevice(key)) missing += column->data_bytes();
         }
         transfer_micros += ctx.simulator().EstimateTransferMicros(missing);
       }
@@ -152,7 +152,7 @@ PlacementMap PlaceDataDriven(const PlanNodePtr& root, EngineContext& ctx) {
       const auto& scan = static_cast<const ScanNode&>(*node);
       bool all_cached = true;
       for (const auto& [key, column] : scan.base_columns()) {
-        if (!ctx.cache().IsCached(key)) all_cached = false;
+        if (!ctx.IsCachedOnAnyDevice(key)) all_cached = false;
       }
       placement[node.get()] =
           all_cached ? ProcessorKind::kGpu : ProcessorKind::kCpu;

@@ -30,7 +30,7 @@ size_t MissingInputBytes(const PlanNode& node,
     const auto& scan = static_cast<const ScanNode&>(node);
     size_t missing = 0;
     for (const auto& [key, column] : scan.base_columns()) {
-      if (!ctx.cache().IsCached(key)) missing += column->data_bytes();
+      if (!ctx.IsCachedOnAnyDevice(key)) missing += column->data_bytes();
     }
     return missing;
   }
@@ -46,9 +46,10 @@ size_t MissingInputBytes(const PlanNode& node,
 RuntimePlacer MakeHypePlacer() {
   return [](const PlanNode& node, const std::vector<OperatorResult*>& inputs,
             EngineContext& ctx) -> ProcessorKind {
-    if (!ctx.breaker().device_available()) {
-      // Breaker open (abort storm): device placement would be denied at
-      // execution time anyway, so place on the CPU outright.
+    if (!ctx.AnyDeviceAvailable()) {
+      // Every breaker open (abort storm) or every device lost: device
+      // placement would be denied at execution time anyway, so place on the
+      // CPU outright.
       return ProcessorKind::kCpu;
     }
     const size_t missing = MissingInputBytes(node, inputs, ctx);
@@ -75,7 +76,7 @@ RuntimePlacer MakeHypePlacer() {
 RuntimePlacer MakeDataDrivenPlacer() {
   return [](const PlanNode& node, const std::vector<OperatorResult*>& inputs,
             EngineContext& ctx) -> ProcessorKind {
-    if (!ctx.breaker().device_available()) return ProcessorKind::kCpu;
+    if (!ctx.AnyDeviceAvailable()) return ProcessorKind::kCpu;
     const size_t missing = MissingInputBytes(node, inputs, ctx);
     if (missing > 0) return ProcessorKind::kCpu;
     if (EstimateDeviceFootprint(node, inputs, 0) >

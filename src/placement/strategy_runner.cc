@@ -127,13 +127,23 @@ Result<TablePtr> StrategyRunner::RunQuery(const PlanNodePtr& root,
 }
 
 void StrategyRunner::RefreshDataPlacement() {
-  std::vector<std::pair<std::string, ColumnPtr>> columns;
+  // Shard the candidate set by column affinity: each device's placement job
+  // (Algorithm 1) sees only the columns the sharding policy homes on it, so
+  // the N caches hold disjoint working sets instead of N hot-set copies.
+  std::vector<std::vector<std::pair<std::string, ColumnPtr>>> shards(
+      static_cast<size_t>(ctx_->device_count()));
   for (const TablePtr& table : ctx_->database()->tables()) {
     for (const ColumnPtr& column : table->columns()) {
-      columns.emplace_back(table->QualifiedName(column->name()), column);
+      std::string key = table->QualifiedName(column->name());
+      const int home = ctx_->sharding().AffinityDevice(key);
+      if (home < 0) continue;  // no live device: nothing to place
+      shards[static_cast<size_t>(home)].emplace_back(std::move(key), column);
     }
   }
-  ctx_->cache().RunPlacementJob(columns);
+  for (int d = 0; d < ctx_->device_count(); ++d) {
+    if (!ctx_->sharding().IsLive(d)) continue;
+    ctx_->cache(d).RunPlacementJob(shards[static_cast<size_t>(d)]);
+  }
 }
 
 }  // namespace hetdb

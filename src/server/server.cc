@@ -16,11 +16,38 @@ int ResolveDispatchers(const ServerOptions& options) {
   return options.admission.max_concurrency;
 }
 
+/// Breaker severity for admission: open is worse than half-open is worse
+/// than closed. (The enum's numeric order is kClosed < kOpen < kHalfOpen,
+/// so std::max over raw values would rank half-open above open.)
+int BreakerSeverity(DeviceCircuitBreaker::State state) {
+  switch (state) {
+    case DeviceCircuitBreaker::State::kClosed:
+      return 0;
+    case DeviceCircuitBreaker::State::kHalfOpen:
+      return 1;
+    case DeviceCircuitBreaker::State::kOpen:
+      return 2;
+  }
+  return 0;
+}
+
 std::function<GovernorSignals()> MakeEngineSignals(EngineContext* ctx) {
   return [ctx] {
+    // Admission throttles on the worst device: one thrashing or tripped
+    // device is enough reason to slow intake, even if its siblings are calm.
     GovernorSignals signals;
-    signals.thrash = ctx->detector().state();
-    signals.breaker = ctx->breaker().state();
+    signals.thrash = ctx->detector(0).state();
+    signals.breaker = ctx->breaker(0).state();
+    for (int d = 1; d < ctx->device_count(); ++d) {
+      const ThrashingDetector::State thrash = ctx->detector(d).state();
+      if (static_cast<int>(thrash) > static_cast<int>(signals.thrash)) {
+        signals.thrash = thrash;  // calm < pressure < thrashing, in order
+      }
+      const DeviceCircuitBreaker::State breaker = ctx->breaker(d).state();
+      if (BreakerSeverity(breaker) > BreakerSeverity(signals.breaker)) {
+        signals.breaker = breaker;
+      }
+    }
     return signals;
   };
 }

@@ -43,7 +43,7 @@ Result<DeviceAllocation> DeviceAllocator::Allocate(size_t bytes,
   if (stats != nullptr) {
     stats->OnHeapAllocated(static_cast<int64_t>(bytes),
                            static_cast<int64_t>(now),
-                           QueryStatsScope::current_node());
+                           QueryStatsScope::current_node(), device_id_);
   }
   return DeviceAllocation(this, bytes, std::move(stats));
 }

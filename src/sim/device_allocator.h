@@ -69,10 +69,14 @@ class DeviceAllocator {
  public:
   /// `fault_injector` (optional) is consulted on every allocation at the
   /// kDeviceAlloc site; it is how tests and chaos runs drive heap-exhaustion
-  /// and device-loss failures deterministically.
+  /// and device-loss failures deterministically. `device_id` identifies the
+  /// device this heap belongs to, carried into per-query attribution.
   explicit DeviceAllocator(size_t capacity,
-                           FaultInjector* fault_injector = nullptr)
-      : capacity_(capacity), fault_injector_(fault_injector) {}
+                           FaultInjector* fault_injector = nullptr,
+                           int device_id = 0)
+      : capacity_(capacity),
+        fault_injector_(fault_injector),
+        device_id_(device_id) {}
 
   DeviceAllocator(const DeviceAllocator&) = delete;
   DeviceAllocator& operator=(const DeviceAllocator&) = delete;
@@ -82,6 +86,7 @@ class DeviceAllocator {
   Result<DeviceAllocation> Allocate(size_t bytes, const std::string& tag);
 
   size_t capacity() const { return capacity_; }
+  int device_id() const { return device_id_; }
   size_t used() const { return used_.load(std::memory_order_relaxed); }
   size_t available() const {
     const size_t u = used();
@@ -101,6 +106,7 @@ class DeviceAllocator {
 
   const size_t capacity_;
   FaultInjector* fault_injector_;
+  const int device_id_ = 0;
   std::atomic<size_t> used_{0};
   std::atomic<size_t> peak_used_{0};
   std::atomic<uint64_t> failed_allocations_{0};

@@ -80,7 +80,7 @@ Status PcieBus::Transfer(size_t bytes, TransferDirection direction,
   if (QueryStats* stats = QueryStatsScope::current_stats()) {
     stats->OnTransfer(lane, static_cast<int64_t>(bytes),
                       static_cast<int64_t>(micros),
-                      QueryStatsScope::current_node());
+                      QueryStatsScope::current_node(), device_id_);
   }
   return Status::OK();
 }

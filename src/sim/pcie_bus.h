@@ -28,12 +28,16 @@ class PcieBus {
   /// (optional) is consulted per transfer at the kTransfer site: it can slow
   /// a transfer down (latency spike), fail it transiently (Unavailable), or
   /// report the device gone (DeviceLost).
+  /// `device_id` identifies which device this link connects to the host;
+  /// per-query transfer attribution carries it so QueryStats can keep a
+  /// per-device breakdown.
   PcieBus(double bandwidth_mbps, double sync_efficiency, SimClock* clock,
-          FaultInjector* fault_injector = nullptr)
+          FaultInjector* fault_injector = nullptr, int device_id = 0)
       : bandwidth_mbps_(bandwidth_mbps),
         sync_efficiency_(sync_efficiency),
         clock_(clock),
-        fault_injector_(fault_injector) {}
+        fault_injector_(fault_injector),
+        device_id_(device_id) {}
 
   PcieBus(const PcieBus&) = delete;
   PcieBus& operator=(const PcieBus&) = delete;
@@ -66,6 +70,7 @@ class PcieBus {
   void ResetStats();
 
   double bandwidth_mbps() const { return bandwidth_mbps_; }
+  int device_id() const { return device_id_; }
 
  private:
   static int Index(TransferDirection direction) {
@@ -76,6 +81,7 @@ class PcieBus {
   const double sync_efficiency_;
   SimClock* clock_;
   FaultInjector* fault_injector_;
+  const int device_id_ = 0;
   std::mutex lane_mutex_[2];
   std::atomic<uint64_t> bytes_[2] = {};
   std::atomic<int64_t> micros_[2] = {};

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include "common/logging.h"
+#include "telemetry/query_stats.h"
 
 namespace hetdb {
 
@@ -17,15 +18,26 @@ const char* ProcessorKindToString(ProcessorKind kind) {
 Simulator::Simulator(const SystemConfig& config)
     : config_(config),
       clock_(config.simulate_time, config.time_scale),
-      fault_injector_(std::make_unique<FaultInjector>()),
-      device_heap_(std::make_unique<DeviceAllocator>(config.device_heap_bytes(),
-                                                     fault_injector_.get())),
-      bus_(std::make_unique<PcieBus>(config.pcie_mbps,
-                                     config.pcie_sync_efficiency, &clock_,
-                                     fault_injector_.get())),
       cpu_slots_(config.cpu_workers) {
   HETDB_CHECK(config.cpu_workers > 0);
   HETDB_CHECK(config.pcie_mbps > 0);
+  HETDB_CHECK(config.device_count > 0);
+  devices_.reserve(static_cast<size_t>(config.device_count));
+  for (int d = 0; d < config.device_count; ++d) {
+    auto device = std::make_unique<Device>();
+    device->fault_injector = std::make_unique<FaultInjector>();
+    device->heap = std::make_unique<DeviceAllocator>(
+        config.device_heap_bytes(), device->fault_injector.get(), d);
+    device->bus = std::make_unique<PcieBus>(
+        config.pcie_mbps, config.pcie_sync_efficiency, &clock_,
+        device->fault_injector.get(), d);
+    devices_.push_back(std::move(device));
+  }
+}
+
+int Simulator::Check(int device) const {
+  HETDB_CHECK(device >= 0 && device < static_cast<int>(devices_.size()));
+  return device;
 }
 
 double Simulator::ThroughputMbps(ProcessorKind processor,
@@ -62,10 +74,10 @@ double Simulator::EstimateTransferMicros(size_t bytes) const {
 }
 
 void Simulator::ChargeCompute(ProcessorKind processor, OpClass op_class,
-                              size_t input_bytes) {
+                              size_t input_bytes, int device) {
   const double micros = EstimateComputeMicros(processor, op_class, input_bytes);
   if (processor == ProcessorKind::kGpu) {
-    std::lock_guard<std::mutex> lock(gpu_kernel_mutex_);
+    std::lock_guard<std::mutex> lock(devices_[Check(device)]->kernel_mutex);
     clock_.Charge(micros);
   } else {
     // Intra-operator parallelism: the kernel runs on every currently idle
@@ -74,6 +86,32 @@ void Simulator::ChargeCompute(ProcessorKind processor, OpClass op_class,
     clock_.Charge(micros / slots);
     cpu_slots_.Release(slots);
   }
+}
+
+Status Simulator::TransferDeviceToDevice(size_t bytes, int from, int to) {
+  Check(from);
+  Check(to);
+  if (bytes == 0 || from == to) return Status::OK();
+  if (config_.d2d_mbps > 0) {
+    const double micros = static_cast<double>(bytes) / config_.d2d_mbps;
+    {
+      std::lock_guard<std::mutex> lock(d2d_lane_mutex_);
+      clock_.Charge(micros);
+    }
+    d2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    d2d_count_.fetch_add(1, std::memory_order_relaxed);
+    if (QueryStats* stats = QueryStatsScope::current_stats()) {
+      stats->OnD2DTransfer(static_cast<int64_t>(bytes),
+                           static_cast<int64_t>(micros));
+    }
+    return Status::OK();
+  }
+  // No dedicated interconnect: stage through host memory. Both hops consult
+  // their own link's fault injector, so a dying source or destination device
+  // fails the migration with the right status.
+  Status down = bus(from).Transfer(bytes, TransferDirection::kDeviceToHost);
+  if (!down.ok()) return down;
+  return bus(to).Transfer(bytes, TransferDirection::kHostToDevice);
 }
 
 }  // namespace hetdb

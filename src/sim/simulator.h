@@ -1,11 +1,14 @@
 #ifndef HETDB_SIM_SIMULATOR_H_
 #define HETDB_SIM_SIMULATOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "common/config.h"
+#include "common/status.h"
 #include "fault/fault_injector.h"
 #include "sim/device_allocator.h"
 #include "sim/pcie_bus.h"
@@ -60,19 +63,26 @@ class Semaphore {
   int count_;
 };
 
-/// Bundles the simulated machine: host CPU slots, the co-processor (heap
-/// allocator + kernel serialization), and the PCIe bus.
+/// Bundles the simulated machine: host CPU slots, N co-processors (each a
+/// heap allocator + kernel serialization + PCIe link + fault injector), and
+/// an optional NVLink-style device-to-device path.
 ///
 /// One Simulator instance represents one machine; every engine, cache, and
 /// workload run is constructed over a Simulator. Timing semantics:
 ///
 ///  * `ChargeCompute(kCpu, ...)` occupies one of `cpu_workers` CPU slots for
 ///    the modeled kernel duration — the host has finitely many cores.
-///  * `ChargeCompute(kGpu, ...)` serializes on the device kernel lock —
-///    device kernels time-share the co-processor, while the *memory* of
+///  * `ChargeCompute(kGpu, ..., device)` serializes on that device's kernel
+///    lock — kernels time-share *their* co-processor, while the *memory* of
 ///    concurrently running device operators stays allocated for their whole
 ///    lifetime. This combination is exactly what makes heap contention
-///    (many operators holding heap while waiting) possible, as in the paper.
+///    (many operators holding heap while waiting) possible, as in the paper;
+///    with N devices, kernels on different devices run concurrently, which
+///    is the scale-out throughput mechanism (DESIGN.md §12).
+///
+/// The no-argument accessors (`device_heap()`, `bus()`, `fault_injector()`)
+/// are device-0 conveniences kept for the single-device callers; every
+/// multi-device-aware layer passes an explicit device index.
 class Simulator {
  public:
   explicit Simulator(const SystemConfig& config);
@@ -82,35 +92,76 @@ class Simulator {
 
   const SystemConfig& config() const { return config_; }
   SimClock& clock() { return clock_; }
-  DeviceAllocator& device_heap() { return *device_heap_; }
-  PcieBus& bus() { return *bus_; }
-  /// The machine's fault injector; consulted by the heap allocator, the
-  /// bus, and device kernel launches. Disarmed by default.
-  FaultInjector& fault_injector() { return *fault_injector_; }
+  int device_count() const { return static_cast<int>(devices_.size()); }
+
+  DeviceAllocator& device_heap(int device) { return *devices_[Check(device)]->heap; }
+  PcieBus& bus(int device) { return *devices_[Check(device)]->bus; }
+  /// A device's fault injector; consulted by its heap allocator, its bus,
+  /// and kernel launches bound to it. Disarmed by default. Per-device so
+  /// chaos tests can kill exactly one device of N.
+  FaultInjector& fault_injector(int device) {
+    return *devices_[Check(device)]->fault_injector;
+  }
+
+  // Single-device conveniences (device 0).
+  DeviceAllocator& device_heap() { return device_heap(0); }
+  PcieBus& bus() { return bus(0); }
+  FaultInjector& fault_injector() { return fault_injector(0); }
 
   /// Models executing one operator kernel of class `op_class` over
-  /// `input_bytes` of data on `processor`. Blocks for the modeled duration
-  /// (plus any queuing for a CPU slot / the device kernel lock).
+  /// `input_bytes` of data on `processor` (device `device` when kGpu).
+  /// Blocks for the modeled duration (plus any queuing for a CPU slot / the
+  /// device's kernel lock).
   void ChargeCompute(ProcessorKind processor, OpClass op_class,
-                     size_t input_bytes);
+                     size_t input_bytes, int device = 0);
+
+  /// Moves `bytes` from device `from` to device `to`. With a dedicated D2D
+  /// interconnect configured (`d2d_mbps > 0`) the copy serializes on that
+  /// link and is counted in the d2d_* counters; otherwise it routes through
+  /// the host, paying D2H on the source device's PCIe link followed by H2D
+  /// on the destination's — each consulting that link's fault injector.
+  Status TransferDeviceToDevice(size_t bytes, int from, int to);
 
   /// Modeled kernel duration without executing it (for cost estimation).
   double EstimateComputeMicros(ProcessorKind processor, OpClass op_class,
                                size_t input_bytes) const;
 
-  /// Modeled one-way transfer duration for `bytes` (for cost estimation).
+  /// Modeled one-way host<->device transfer duration for `bytes`.
   double EstimateTransferMicros(size_t bytes) const;
 
+  // Dedicated D2D link counters (zero when d2d_mbps == 0: host-routed
+  // traffic shows up on the PCIe per-device counters instead).
+  uint64_t d2d_bytes() const {
+    return d2d_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t d2d_transfer_count() const {
+    return d2d_count_.load(std::memory_order_relaxed);
+  }
+  void ResetD2DStats() {
+    d2d_bytes_.store(0, std::memory_order_relaxed);
+    d2d_count_.store(0, std::memory_order_relaxed);
+  }
+
  private:
+  /// One simulated co-processor. Held by unique_ptr because the kernel
+  /// mutex makes the unit immovable.
+  struct Device {
+    std::unique_ptr<FaultInjector> fault_injector;  // before heap/bus users
+    std::unique_ptr<DeviceAllocator> heap;
+    std::unique_ptr<PcieBus> bus;
+    std::mutex kernel_mutex;
+  };
+
+  int Check(int device) const;
   double ThroughputMbps(ProcessorKind processor, OpClass op_class) const;
 
   SystemConfig config_;
   SimClock clock_;
-  std::unique_ptr<FaultInjector> fault_injector_;  // before heap/bus users
-  std::unique_ptr<DeviceAllocator> device_heap_;
-  std::unique_ptr<PcieBus> bus_;
+  std::vector<std::unique_ptr<Device>> devices_;
   Semaphore cpu_slots_;
-  std::mutex gpu_kernel_mutex_;
+  std::mutex d2d_lane_mutex_;
+  std::atomic<uint64_t> d2d_bytes_{0};
+  std::atomic<uint64_t> d2d_count_{0};
 };
 
 using SimulatorPtr = std::shared_ptr<Simulator>;

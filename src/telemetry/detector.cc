@@ -1,6 +1,7 @@
 #include "telemetry/detector.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metric_registry.h"
@@ -22,10 +23,14 @@ const char* ThrashingDetector::StateName(State state) {
 
 ThrashingDetector::ThrashingDetector(const Options& options,
                                      MetricRegistry* registry,
-                                     FlightRecorder* recorder)
-    : options_(options), registry_(registry), recorder_(recorder) {
+                                     FlightRecorder* recorder,
+                                     std::string metric_prefix)
+    : options_(options),
+      registry_(registry),
+      recorder_(recorder),
+      metric_prefix_(std::move(metric_prefix)) {
   if (registry_ != nullptr) {
-    registry_->GetGauge("thrash.state").Set(0);
+    registry_->GetGauge(metric_prefix_ + "thrash.state").Set(0);
   }
 }
 
@@ -114,15 +119,15 @@ void ThrashingDetector::TransitionLocked(State next) {
   state_ = next;
   ++transitions_;
   if (registry_ != nullptr) {
-    registry_->GetGauge("thrash.state").Set(static_cast<int64_t>(next));
-    registry_->GetCounter("thrash.transitions").Increment();
+    registry_->GetGauge(metric_prefix_ + "thrash.state").Set(static_cast<int64_t>(next));
+    registry_->GetCounter(metric_prefix_ + "thrash.transitions").Increment();
   }
   if (recorder_ != nullptr) {
-    recorder_->RecordStateTransition("thrash_detector", StateName(prev),
+    recorder_->RecordStateTransition(metric_prefix_ + "thrash_detector", StateName(prev),
                                      StateName(next));
   }
   if (TraceRecorder::enabled()) {
-    RecordInstantEvent("thrash.state", "engine", 0,
+    RecordInstantEvent(metric_prefix_ + "thrash.state", "engine", 0,
                        {{"from", StateName(prev)}, {"to", StateName(next)}});
   }
 }
@@ -151,7 +156,7 @@ void ThrashingDetector::Reset() {
   escalate_streak_ = 0;
   calm_streak_ = 0;
   if (registry_ != nullptr) {
-    registry_->GetGauge("thrash.state").Set(0);
+    registry_->GetGauge(metric_prefix_ + "thrash.state").Set(0);
   }
 }
 

@@ -77,8 +77,11 @@ class ThrashingDetector {
     bool abort_signal = false;
   };
 
+  /// `metric_prefix` is prepended to every exported metric name — empty
+  /// for device 0 (the legacy single-device names), "deviceN." for later
+  /// devices.
   ThrashingDetector(const Options& options, MetricRegistry* registry,
-                    FlightRecorder* recorder);
+                    FlightRecorder* recorder, std::string metric_prefix = "");
 
   ThrashingDetector(const ThrashingDetector&) = delete;
   ThrashingDetector& operator=(const ThrashingDetector&) = delete;
@@ -103,6 +106,7 @@ class ThrashingDetector {
   const Options options_;
   MetricRegistry* const registry_;
   FlightRecorder* const recorder_;
+  const std::string metric_prefix_;
 
   mutable std::mutex mutex_;
   State state_ = State::kCalm;

@@ -103,8 +103,10 @@ int64_t QueryStats::wall_micros() const {
 }
 
 void QueryStats::OnTransfer(int direction, int64_t bytes, int64_t micros,
-                            NodeStats* node) {
+                            NodeStats* node, int device) {
   (direction == 0 ? h2d_bytes_ : d2h_bytes_)
+      .fetch_add(bytes, std::memory_order_relaxed);
+  (direction == 0 ? h2d_bytes_by_device_ : d2h_bytes_by_device_)[Clamp(device)]
       .fetch_add(bytes, std::memory_order_relaxed);
   transfer_micros_.fetch_add(micros, std::memory_order_relaxed);
   transfers_.fetch_add(1, std::memory_order_relaxed);
@@ -116,10 +118,16 @@ void QueryStats::OnTransfer(int direction, int64_t bytes, int64_t micros,
 }
 
 void QueryStats::OnHeapAllocated(int64_t bytes, int64_t global_used_after,
-                                 NodeStats* node) {
+                                 NodeStats* node, int device) {
   heap_current_.fetch_add(bytes, std::memory_order_relaxed);
   if (global_used_after > heap_high_water_.load(std::memory_order_relaxed)) {
     heap_high_water_.store(global_used_after, std::memory_order_relaxed);
+  }
+  alloc_bytes_by_device_[Clamp(device)].fetch_add(bytes,
+                                                  std::memory_order_relaxed);
+  std::atomic<int64_t>& device_hw = heap_hw_by_device_[Clamp(device)];
+  if (global_used_after > device_hw.load(std::memory_order_relaxed)) {
+    device_hw.store(global_used_after, std::memory_order_relaxed);
   }
   if (node != nullptr) {
     node->device_alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
@@ -129,6 +137,12 @@ void QueryStats::OnHeapAllocated(int64_t bytes, int64_t global_used_after,
                                   std::memory_order_relaxed);
     }
   }
+}
+
+void QueryStats::OnD2DTransfer(int64_t bytes, int64_t micros) {
+  d2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  transfer_micros_.fetch_add(micros, std::memory_order_relaxed);
+  transfers_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void QueryStats::OnHeapFreed(int64_t bytes) {
@@ -201,7 +215,9 @@ std::string QueryStats::ToText() const {
       os << std::string(static_cast<size_t>(depth) * 2, ' ') << node.label;
       const int ran_on = node.ran_on.load(std::memory_order_relaxed);
       const int requested = node.requested.load(std::memory_order_relaxed);
+      const int device = node.device.load(std::memory_order_relaxed);
       os << "  [" << ProcessorName(ran_on);
+      if (ran_on == 1 && device > 0) os << ":" << device;
       if (requested >= 0 && requested != ran_on) {
         os << ", requested " << ProcessorName(requested);
       }
@@ -294,7 +310,8 @@ std::string QueryStats::ToJson() const {
        << ProcessorName(node.requested.load(std::memory_order_relaxed))
        << "\",\"ran_on\":\""
        << ProcessorName(node.ran_on.load(std::memory_order_relaxed))
-       << "\",\"rows_in\":" << node.rows_in.load(std::memory_order_relaxed)
+       << "\",\"device\":" << node.device.load(std::memory_order_relaxed)
+       << ",\"rows_in\":" << node.rows_in.load(std::memory_order_relaxed)
        << ",\"rows_out\":" << node.rows_out.load(std::memory_order_relaxed)
        << ",\"cpu_kernel_us\":"
        << node.cpu_kernel_micros.load(std::memory_order_relaxed)

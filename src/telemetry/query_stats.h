@@ -49,6 +49,9 @@ struct NodeStats {
   std::atomic<int64_t> cpu_fallbacks{0};   ///< device abort -> CPU restart
   std::atomic<int> requested{-1};  ///< processor the placer chose
   std::atomic<int> ran_on{-1};     ///< processor that finally ran it
+  /// Device the operator finally ran on (-1 for CPU / never ran). Stored as
+  /// an int for the same layering reason as `ran_on`.
+  std::atomic<int> device{-1};
 };
 
 /// Resource attribution for one query execution: per-plan-node NodeStats
@@ -73,6 +76,11 @@ struct NodeStats {
 /// (asserted by the parity tests).
 class QueryStats {
  public:
+  /// Upper bound on per-device counter slots. Device indices at or above
+  /// this clamp into the last slot (never expected in practice; the
+  /// simulator models single-digit device counts).
+  static constexpr int kMaxDevices = 16;
+
   QueryStats() = default;
   QueryStats(const QueryStats&) = delete;
   QueryStats& operator=(const QueryStats&) = delete;
@@ -118,15 +126,20 @@ class QueryStats {
   // --- Attribution entry points (thread-safe) ------------------------------
   /// One successful bus transfer. `direction` uses the bus's lane index
   /// (0 = host-to-device, 1 = device-to-host). `node` may be null (e.g. the
-  /// final result copy-back, attributed to the query only).
+  /// final result copy-back, attributed to the query only). `device` is the
+  /// PCIe link's device id, feeding the per-device breakdown.
   void OnTransfer(int direction, int64_t bytes, int64_t micros,
-                  NodeStats* node);
-  /// One successful device-heap allocation of `bytes`, with the allocator's
-  /// *global* used bytes right after it. Called under the allocator's mutex,
-  /// so the observed high-water mark is exact with respect to the
+                  NodeStats* node, int device = 0);
+  /// One successful device-heap allocation of `bytes`, with that allocator's
+  /// *device-global* used bytes right after it. Called under the allocator's
+  /// mutex, so the observed high-water mark is exact with respect to that
   /// allocator's peak.
   void OnHeapAllocated(int64_t bytes, int64_t global_used_after,
-                       NodeStats* node);
+                       NodeStats* node, int device = 0);
+  /// One transfer over the dedicated device-to-device interconnect (only
+  /// when the machine has one; host-routed D2D shows up as a D2H + H2D pair
+  /// on the per-device counters instead).
+  void OnD2DTransfer(int64_t bytes, int64_t micros);
   void OnHeapFreed(int64_t bytes);
   void OnCacheAccess(bool hit, NodeStats* node);
   void OnQueueWait(int64_t micros, NodeStats* node);
@@ -166,6 +179,28 @@ class QueryStats {
   int64_t run_micros() const {
     return run_micros_.load(std::memory_order_relaxed);
   }
+
+  // --- Per-device breakdowns (device index clamped to kMaxDevices) ---------
+  int64_t h2d_bytes(int device) const {
+    return h2d_bytes_by_device_[Clamp(device)].load(std::memory_order_relaxed);
+  }
+  int64_t d2h_bytes(int device) const {
+    return d2h_bytes_by_device_[Clamp(device)].load(std::memory_order_relaxed);
+  }
+  /// Total device-heap bytes this query allocated on `device` (freed or not).
+  int64_t device_alloc_bytes(int device) const {
+    return alloc_bytes_by_device_[Clamp(device)].load(
+        std::memory_order_relaxed);
+  }
+  /// Peak device-global heap usage observed at this query's allocations on
+  /// `device` (the per-device slice of heap_high_water()).
+  int64_t device_heap_high_water(int device) const {
+    return heap_hw_by_device_[Clamp(device)].load(std::memory_order_relaxed);
+  }
+  int64_t d2d_bytes() const {
+    return d2d_bytes_.load(std::memory_order_relaxed);
+  }
+
   // Summed over nodes (recorded by the operator executor per node).
   int64_t device_retries() const;
   int64_t cpu_fallbacks() const;
@@ -185,6 +220,11 @@ class QueryStats {
   std::vector<std::pair<std::string, std::string>> SummaryFields() const;
 
  private:
+  static int Clamp(int device) {
+    if (device < 0) return 0;
+    return device < kMaxDevices ? device : kMaxDevices - 1;
+  }
+
   std::vector<std::unique_ptr<NodeStats>> nodes_;
   std::unordered_map<const void*, NodeStats*> index_;
   uint64_t query_id_ = 0;
@@ -207,6 +247,11 @@ class QueryStats {
   std::atomic<int64_t> cache_misses_{0};
   std::atomic<int64_t> queue_wait_micros_{0};
   std::atomic<int64_t> run_micros_{0};
+  std::atomic<int64_t> d2d_bytes_{0};
+  std::atomic<int64_t> h2d_bytes_by_device_[kMaxDevices] = {};
+  std::atomic<int64_t> d2h_bytes_by_device_[kMaxDevices] = {};
+  std::atomic<int64_t> alloc_bytes_by_device_[kMaxDevices] = {};
+  std::atomic<int64_t> heap_hw_by_device_[kMaxDevices] = {};
 };
 
 /// RAII thread-local attribution scope. While alive, everything the current

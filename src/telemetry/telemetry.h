@@ -2,6 +2,7 @@
 #define HETDB_TELEMETRY_TELEMETRY_H_
 
 #include <cstdint>
+#include <string>
 
 #include "telemetry/metric_registry.h"
 #include "telemetry/trace_recorder.h"
@@ -39,12 +40,17 @@ class Telemetry {
   static uint64_t NextQueryId();
 
   // --- Workload counter API (drop-in for the former WorkloadMetrics) -------
-  void RecordGpuAbort(int64_t wasted_micros) {
+  /// `device` keys the per-device breakdown counters; the aggregate
+  /// counters above always advance too, so single-device readers see
+  /// unchanged totals.
+  void RecordGpuAbort(int64_t wasted_micros, int device = 0) {
     gpu_operator_aborts_->Increment();
     wasted_micros_->Increment(wasted_micros);
+    DeviceCounter("engine.gpu_operator_aborts", device).Increment();
   }
-  void RecordOperator(bool on_gpu) {
+  void RecordOperator(bool on_gpu, int device = 0) {
     (on_gpu ? gpu_operators_ : cpu_operators_)->Increment();
+    if (on_gpu) DeviceCounter("engine.gpu_operators", device).Increment();
   }
   void RecordQueryDone() { queries_completed_->Increment(); }
 
@@ -62,10 +68,26 @@ class Telemetry {
     return static_cast<uint64_t>(queries_completed_->value());
   }
 
+  // Per-device breakdowns (device 0 of a single-device machine matches the
+  // aggregates above).
+  uint64_t gpu_operators(int device) {
+    return static_cast<uint64_t>(
+        DeviceCounter("engine.gpu_operators", device).value());
+  }
+  uint64_t gpu_operator_aborts(int device) {
+    return static_cast<uint64_t>(
+        DeviceCounter("engine.gpu_operator_aborts", device).value());
+  }
+
   /// Zeroes every metric in the registry (per-run reset).
   void Reset() { registry_.Reset(); }
 
  private:
+  Counter& DeviceCounter(const char* base, int device) {
+    return registry_.GetCounter(std::string(base) + ".device" +
+                                std::to_string(device));
+  }
+
   MetricRegistry registry_;
   // Cached so the hot recording paths skip the registry map lookup.
   Counter* gpu_operator_aborts_;

@@ -143,17 +143,19 @@ WorkloadRunResult RunWorkload(StrategyRunner& runner,
   // --- Collect metrics ---------------------------------------------------------
   WorkloadRunResult result;
   result.wall_millis = workload_watch.ElapsedMillis();
-  PcieBus& bus = ctx.simulator().bus();
   // Bus counters record modeled (unscaled) durations; scale them to the same
-  // wall-clock units as wall_millis.
+  // wall-clock units as wall_millis. Summed over every device's PCIe link.
   const double scale =
       ctx.config().simulate_time ? ctx.config().time_scale : 1.0;
-  result.h2d_transfer_millis =
-      bus.transfer_micros(TransferDirection::kHostToDevice) * scale / 1000.0;
-  result.d2h_transfer_millis =
-      bus.transfer_micros(TransferDirection::kDeviceToHost) * scale / 1000.0;
-  result.h2d_bytes = bus.transferred_bytes(TransferDirection::kHostToDevice);
-  result.d2h_bytes = bus.transferred_bytes(TransferDirection::kDeviceToHost);
+  for (int d = 0; d < ctx.device_count(); ++d) {
+    PcieBus& bus = ctx.simulator().bus(d);
+    result.h2d_transfer_millis +=
+        bus.transfer_micros(TransferDirection::kHostToDevice) * scale / 1000.0;
+    result.d2h_transfer_millis +=
+        bus.transfer_micros(TransferDirection::kDeviceToHost) * scale / 1000.0;
+    result.h2d_bytes += bus.transferred_bytes(TransferDirection::kHostToDevice);
+    result.d2h_bytes += bus.transferred_bytes(TransferDirection::kDeviceToHost);
+  }
   result.gpu_aborts = ctx.metrics().gpu_operator_aborts();
   result.wasted_millis = ctx.metrics().wasted_micros() / 1000.0;
   result.cpu_operators = ctx.metrics().cpu_operators();

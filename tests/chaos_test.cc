@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -610,6 +611,130 @@ TEST(ChaosTest, FusedPipelinesSurviveMixedFaultsWithParity) {
     }
     EXPECT_EQ(ctx.simulator().device_heap().used(), 0u)
         << StrategyToString(strategy);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-device chaos: losing one of four co-processors (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+SystemConfig FourDeviceConfig() {
+  SystemConfig config = TestConfig();
+  config.device_count = 4;
+  return config;
+}
+
+/// Kill one of four devices while a concurrent sweep is in flight: every
+/// query must still return the reference result — shards re-home to the
+/// survivors, in-flight work on the dead device classifies as DeviceLost and
+/// falls back, and no device byte stays stranded on the corpse.
+TEST(MultiDeviceChaosTest, KillingOneOfFourMidSweepLosesNoQueries) {
+  DatabasePtr db = ChaosDb();
+  EngineContext ctx(FourDeviceConfig(), db);
+  StrategyRunner runner(&ctx, Strategy::kDataDrivenChopping);
+  // Warm phase trains access counts; the placement job then shards the hot
+  // columns across all four devices, so there is device work to disrupt.
+  for (const char* name : kChaosQueries) {
+    ASSERT_TRUE(runner.RunQuery(ChaosPlan(name)).ok());
+  }
+  runner.RefreshDataPlacement();
+
+  std::vector<TablePtr> expected;
+  for (const char* name : kChaosQueries) expected.push_back(Reference(name));
+
+  std::atomic<int> failed{0}, wrong{0};
+  std::vector<std::thread> users;
+  for (int u = 0; u < 4; ++u) {
+    users.emplace_back([&, u] {
+      for (int round = 0; round < 3; ++round) {
+        const int q = (u + round) % 3;
+        Result<TablePtr> result = runner.RunQuery(ChaosPlan(kChaosQueries[q]));
+        if (!result.ok()) {
+          ++failed;
+        } else if (!TablesEqual(*expected[static_cast<size_t>(q)],
+                                *result.value())) {
+          ++wrong;
+        }
+      }
+    });
+  }
+  // Device 2 falls off the bus mid-sweep: the injector refuses everything,
+  // the sharding layer stops routing there, and its shard is re-sourced from
+  // the host copies onto the survivors' own PCIe links.
+  ctx.simulator().fault_injector(2).ForceOffline(1 << 20);
+  ctx.sharding().MarkDeviceLost(2);
+  ctx.sharding().RebalanceAway(2, /*source_reachable=*/false);
+  for (std::thread& user : users) user.join();
+
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(ctx.simulator().device_heap(2).used(), 0u);
+  EXPECT_EQ(ctx.cache(2).used_bytes(), 0u);
+}
+
+/// The breaker-trip path on a multi-device machine: an abort storm on one
+/// device opens only that device's breaker; its shard migrates to survivors
+/// over the D2D link (it is still on the bus); half-open probes close the
+/// breaker again; and the restored device rejoins the placement pool.
+TEST(MultiDeviceChaosTest, BreakerTripRebalancesThenHalfOpenRecoveryReadmits) {
+  DatabasePtr db = ChaosDb();
+  SystemConfig config = FourDeviceConfig();
+  config.d2d_mbps = 1000.0;  // dedicated interconnect: migrate, don't reload
+  EngineContext ctx(config, db);
+  ctx.breaker(1).Configure(SmallBreaker());
+
+  const std::string key = "lineorder.lo_quantity";
+  ASSERT_TRUE(
+      ctx.cache(1).Pin(db->GetColumnByQualifiedName(key).value(), key).ok());
+
+  // Abort storm on device 1 only: its breaker opens, the others stay closed.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ctx.breaker(1).AllowDevice());
+    ctx.breaker(1).RecordDeviceAbort();
+  }
+  ASSERT_EQ(ctx.breaker(1).state(), DeviceCircuitBreaker::State::kOpen);
+  EXPECT_TRUE(ctx.breaker(0).device_available());
+  EXPECT_TRUE(ctx.breaker(2).device_available());
+
+  // The tripped device leaves the pool; its cached shard moves to the
+  // survivors over the D2D path and the source cache empties.
+  ctx.sharding().MarkDeviceLost(1);
+  EXPECT_EQ(ctx.sharding().RebalanceAway(1, /*source_reachable=*/true), 1);
+  EXPECT_GT(ctx.simulator().d2d_bytes(), 0u);
+  EXPECT_EQ(ctx.cache(1).used_bytes(), 0u);
+  const int new_home = ctx.sharding().AffinityDevice(key);
+  ASSERT_GE(new_home, 0);
+  ASSERT_NE(new_home, 1);
+  EXPECT_TRUE(ctx.cache(new_home).IsCached(key));
+  // Rebalancing converged: a second pass finds nothing left to move.
+  EXPECT_EQ(ctx.sharding().RebalanceAway(1, /*source_reachable=*/true), 0);
+
+  // Placement never offers device 1 while it is out, even with a resident
+  // input pointing there.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(ctx.sharding().PickDevice({}, {{1, 4096}}, 0), 1);
+  }
+
+  // Recovery: open-state cooldown advances on placer peeks, two successful
+  // probes close the breaker, and the device is re-admitted.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(ctx.breaker(1).device_available());
+  ASSERT_EQ(ctx.breaker(1).state(), DeviceCircuitBreaker::State::kHalfOpen);
+  ASSERT_TRUE(ctx.breaker(1).AllowDevice());
+  ctx.breaker(1).RecordDeviceSuccess();
+  ASSERT_TRUE(ctx.breaker(1).AllowDevice());
+  ctx.breaker(1).RecordDeviceSuccess();
+  ASSERT_EQ(ctx.breaker(1).state(), DeviceCircuitBreaker::State::kClosed);
+  ctx.sharding().MarkDeviceRestored(1);
+
+  // Re-admitted: resident-input affinity lands on device 1 again, and a
+  // sweep over the recovered machine still returns correct results.
+  EXPECT_EQ(ctx.sharding().PickDevice({}, {{1, 4096}, {1, 4096}}, 0), 1);
+  StrategyRunner runner(&ctx, Strategy::kDataDrivenChopping);
+  for (const char* name : kChaosQueries) {
+    TablePtr expected = Reference(name);
+    Result<TablePtr> result = runner.RunQuery(ChaosPlan(name));
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_TRUE(TablesEqual(*expected, *result.value())) << name;
   }
 }
 

@@ -8,6 +8,8 @@
 
 #include "common/rng.h"
 #include "operators/kernels.h"
+#include "placement/strategy_runner.h"
+#include "tests/test_util.h"
 
 namespace hetdb {
 namespace {
@@ -210,6 +212,142 @@ TEST_P(SeededTest, FilterCommutesWithGather) {
   auto rows2 = EvaluateFilter(*filtered.value(), filter);
   ASSERT_TRUE(rows2.ok());
   EXPECT_EQ(rows2.value().size(), filtered.value()->num_rows());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized plans on randomized N-device machines vs the CPU reference
+// ---------------------------------------------------------------------------
+
+#if defined(__SANITIZE_THREAD__)
+#define HETDB_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HETDB_UNDER_TSAN 1
+#endif
+#endif
+
+/// Plans per seed: each plan spins up fresh engine contexts (the chopping
+/// strategies start device worker pools), which TSan instruments heavily —
+/// trim the volume there, keep the seed coverage.
+#ifdef HETDB_UNDER_TSAN
+constexpr int kRandomPlans = 2;
+#else
+constexpr int kRandomPlans = 5;
+#endif
+
+/// Random star-schema database: fact(fk, v) with duplicate foreign keys,
+/// dim(key, name) with 16 members. Row count varies with the seed.
+DatabasePtr RandomStarDb(uint64_t seed) {
+  Rng rng(seed ^ 0x5eedf00dULL);
+  auto db = std::make_shared<Database>();
+  const size_t rows = static_cast<size_t>(400 + rng.Uniform(0, 600));
+  auto fact = std::make_shared<Table>("fact");
+  std::vector<int32_t> fk(rows), v(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    fk[i] = static_cast<int32_t>(rng.Uniform(1, 16));
+    v[i] = static_cast<int32_t>(rng.Uniform(-500, 500));
+  }
+  EXPECT_TRUE(
+      fact->AddColumn(std::make_shared<Int32Column>("fk", std::move(fk))).ok());
+  EXPECT_TRUE(
+      fact->AddColumn(std::make_shared<Int32Column>("v", std::move(v))).ok());
+  EXPECT_TRUE(db->AddTable(fact).ok());
+
+  auto dim = std::make_shared<Table>("dim");
+  std::vector<int32_t> key(16);
+  std::vector<std::string> labels;
+  for (int i = 0; i < 16; ++i) labels.push_back("d" + std::to_string(i));
+  auto name = StringColumn::FromDictionary("name", labels);
+  for (int i = 0; i < 16; ++i) {
+    key[i] = i + 1;
+    name->AppendCode(i);
+  }
+  EXPECT_TRUE(
+      dim->AddColumn(std::make_shared<Int32Column>("key", std::move(key))).ok());
+  EXPECT_TRUE(dim->AddColumn(std::move(name)).ok());
+  EXPECT_TRUE(db->AddTable(dim).ok());
+  return db;
+}
+
+/// Random plan over the star schema: scan, then an independent coin flip for
+/// a selection, a dimension join, and an aggregation. Every shape ends in a
+/// sort imposing a total order on the output values, so cross-device
+/// comparison is insensitive to execution-order permutations.
+PlanNodePtr RandomPlan(const DatabasePtr& db, uint64_t seed) {
+  Rng rng(seed);
+  PlanNodePtr node = std::make_shared<ScanNode>(
+      db->GetTable("fact").value(), std::vector<std::string>{"fk", "v"});
+  if (rng.Uniform(0, 2) == 0) {
+    const int64_t cut = rng.Uniform(-500, 500);
+    node = std::make_shared<SelectNode>(
+        std::move(node), ConjunctiveFilter::And({Predicate::Lt("v", cut)}));
+  }
+  bool joined = false;
+  if (rng.Uniform(0, 2) == 0) {
+    joined = true;
+    PlanNodePtr dim_scan = std::make_shared<ScanNode>(
+        db->GetTable("dim").value(), std::vector<std::string>{"key", "name"});
+    JoinOutputSpec spec;
+    spec.build_columns = {"name"};
+    spec.probe_columns = {"fk", "v"};
+    node = std::make_shared<JoinNode>(std::move(dim_scan), std::move(node),
+                                      "key", "fk", spec);
+  }
+  if (rng.Uniform(0, 2) == 0) {
+    const std::string group = joined ? "name" : "fk";
+    node = std::make_shared<AggregateNode>(
+        std::move(node), std::vector<std::string>{group},
+        std::vector<AggregateSpec>{{AggregateFn::kSum, "v", "total"},
+                                   {AggregateFn::kCount, "", "n"}});
+    return std::make_shared<SortNode>(std::move(node),
+                                      std::vector<SortKey>{{group, true}});
+  }
+  std::vector<SortKey> keys;
+  if (joined) keys.push_back({"name", true});
+  keys.push_back({"fk", true});
+  keys.push_back({"v", true});
+  return std::make_shared<SortNode>(std::move(node), std::move(keys));
+}
+
+/// The multi-device contract as a property: for random star-schema data and
+/// random plan shapes, every placement strategy on every machine size
+/// returns exactly the scalar CPU reference result.
+TEST_P(SeededTest, RandomPlansMatchCpuReferenceOnAnyDeviceCount) {
+  const uint64_t seed = GetParam();
+  DatabasePtr db = RandomStarDb(seed);
+
+  SystemConfig reference_config = TestConfig();
+  reference_config.device_count = 1;
+  for (int plan_index = 0; plan_index < kRandomPlans; ++plan_index) {
+    const uint64_t plan_seed =
+        seed * 1000003ULL + static_cast<uint64_t>(plan_index);
+    TablePtr expected;
+    {
+      EngineContext ctx(reference_config, db);
+      StrategyRunner runner(&ctx, Strategy::kCpuOnly);
+      Result<TablePtr> result = runner.RunQuery(RandomPlan(db, plan_seed));
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      expected = result.value();
+    }
+    // Machine size derived from the seed: anything from 2 to 8 devices.
+    const int devices =
+        2 + static_cast<int>((seed + static_cast<uint64_t>(plan_index)) % 7);
+    SystemConfig config = TestConfig();
+    config.device_count = devices;
+    for (Strategy strategy : {Strategy::kGpuOnly, Strategy::kRunTime,
+                              Strategy::kDataDrivenChopping}) {
+      EngineContext ctx(config, db);
+      StrategyRunner runner(&ctx, strategy);
+      runner.RefreshDataPlacement();
+      Result<TablePtr> result = runner.RunQuery(RandomPlan(db, plan_seed));
+      ASSERT_TRUE(result.ok())
+          << StrategyToString(strategy) << " x" << devices << " plan "
+          << plan_index << ": " << result.status().ToString();
+      EXPECT_TRUE(TablesEqual(*expected, *result.value()))
+          << StrategyToString(strategy) << " x" << devices << " plan "
+          << plan_index;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,

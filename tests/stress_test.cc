@@ -21,10 +21,20 @@ DatabasePtr StressDb() {
   return db;
 }
 
+/// This suite stresses the *single-device* contention and fault paths the
+/// paper studies; pin device_count so the machine shape stays fixed even if
+/// the multi-device default ever changes (tests/multi_device_test.cc owns
+/// the N-device behavior).
+SystemConfig SingleDeviceConfig() {
+  SystemConfig config = TestConfig();
+  config.device_count = 1;
+  return config;
+}
+
 /// Reference result computed once on the CPU.
 TablePtr Reference(const std::string& query_name) {
   DatabasePtr db = StressDb();
-  EngineContext ctx(TestConfig(), db);
+  EngineContext ctx(SingleDeviceConfig(), db);
   StrategyRunner runner(&ctx, Strategy::kCpuOnly);
   Result<NamedQuery> query = SsbQueryByName(query_name);
   EXPECT_TRUE(query.ok());
@@ -46,7 +56,7 @@ TEST_P(FailureRateTest, ResultsSurviveRandomAllocationFailures) {
 
   for (Strategy strategy :
        {Strategy::kGpuOnly, Strategy::kRunTime, Strategy::kDataDrivenChopping}) {
-    EngineContext ctx(TestConfig(), db);
+    EngineContext ctx(SingleDeviceConfig(), db);
     StrategyRunner runner(&ctx, strategy);
     runner.RefreshDataPlacement();
     // Seeded per (rate, strategy) for reproducibility: the injector draws
@@ -78,7 +88,7 @@ INSTANTIATE_TEST_SUITE_P(FailureRates, FailureRateTest,
 
 TEST(StressTest, ManyUsersManyStrategiesProduceNoFailures) {
   DatabasePtr db = StressDb();
-  SystemConfig config = TestConfig();
+  SystemConfig config = SingleDeviceConfig();
   config.device_memory_bytes = 256 << 10;  // deliberately starved device
   config.device_cache_bytes = 128 << 10;
   for (Strategy strategy :
@@ -100,7 +110,7 @@ TEST(StressTest, ChoppingExecutorSurvivesRapidSubmitCycles) {
   // Repeated construction/destruction of chopping executors with in-flight
   // queries (shutdown correctness).
   for (int cycle = 0; cycle < 10; ++cycle) {
-    EngineContext ctx(TestConfig(), db);
+    EngineContext ctx(SingleDeviceConfig(), db);
     StrategyRunner runner(&ctx, Strategy::kDataDrivenChopping);
     Result<NamedQuery> query = SsbQueryByName("Q1.1");
     ASSERT_TRUE(query.ok());
@@ -117,7 +127,7 @@ TEST(StressTest, InjectedFailuresAreCountedAsAborts) {
   const bool saved_fusion = GlobalKernelConfig().fusion;
   GlobalKernelConfig().fusion = false;
   DatabasePtr db = StressDb();
-  EngineContext ctx(TestConfig(), db);
+  EngineContext ctx(SingleDeviceConfig(), db);
   StrategyRunner runner(&ctx, Strategy::kGpuOnly);
   // Keep the breaker out of the arithmetic: a tripped breaker would
   // short-circuit later operators to the CPU without counting an abort.

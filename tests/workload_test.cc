@@ -14,6 +14,16 @@ DatabasePtr SmallSsbDb() {
   return GenerateSsbDatabase(options);
 }
 
+/// Workload-counter expectations below assume one co-processor (one bus, one
+/// heap); pin device_count so the machine shape stays fixed even if the
+/// multi-device default ever changes (tests/multi_device_test.cc owns the
+/// N-device behavior).
+SystemConfig SingleDeviceConfig() {
+  SystemConfig config = TestConfig();
+  config.device_count = 1;
+  return config;
+}
+
 TEST(MicroWorkloadTest, SerialSelectionHasEightDistinctColumns) {
   std::vector<NamedQuery> queries = SerialSelectionQueries();
   ASSERT_EQ(queries.size(), 8u);
@@ -41,7 +51,7 @@ TEST(MicroWorkloadTest, ParallelSelectionHasFourOperators) {
 
 TEST(WorkloadDriverTest, RunsAllQueries) {
   DatabasePtr db = SmallSsbDb();
-  EngineContext ctx(TestConfig(), db);
+  EngineContext ctx(SingleDeviceConfig(), db);
   StrategyRunner runner(&ctx, Strategy::kCpuOnly);
   WorkloadRunOptions options;
   options.repetitions = 3;
@@ -59,7 +69,7 @@ TEST(WorkloadDriverTest, RunsAllQueries) {
 
 TEST(WorkloadDriverTest, MultiUserDoesSameTotalWork) {
   DatabasePtr db = SmallSsbDb();
-  EngineContext ctx(TestConfig(), db);
+  EngineContext ctx(SingleDeviceConfig(), db);
   StrategyRunner runner(&ctx, Strategy::kCpuOnly);
   WorkloadRunOptions options;
   options.repetitions = 4;
@@ -73,7 +83,7 @@ TEST(WorkloadDriverTest, MultiUserDoesSameTotalWork) {
 
 TEST(WorkloadDriverTest, AdmissionControlSerializesQueries) {
   DatabasePtr db = SmallSsbDb();
-  EngineContext ctx(TestConfig(), db);
+  EngineContext ctx(SingleDeviceConfig(), db);
   StrategyRunner runner(&ctx, Strategy::kGpuOnly);
   WorkloadRunOptions options;
   options.repetitions = 2;
@@ -88,7 +98,7 @@ TEST(WorkloadDriverTest, AdmissionControlSerializesQueries) {
 
 TEST(WorkloadDriverTest, WarmupTrainsPlacementBeforeMeasurement) {
   DatabasePtr db = SmallSsbDb();
-  SystemConfig config = TestConfig();
+  SystemConfig config = SingleDeviceConfig();
   config.device_cache_bytes = 4ull << 20;  // room for the whole working set
   config.device_memory_bytes = 8ull << 20;
   EngineContext ctx(config, db);
@@ -115,7 +125,7 @@ TEST(RobustnessTest, ChoppingAvoidsHeapContentionAborts) {
   const bool saved_fusion = GlobalKernelConfig().fusion;
   GlobalKernelConfig().fusion = false;
   DatabasePtr db = SmallSsbDb();
-  SystemConfig config = TestConfig();
+  SystemConfig config = SingleDeviceConfig();
   // Operators must genuinely overlap for contention to occur, so this test
   // runs with time simulation on (sub-millisecond modeled durations).
   config.simulate_time = true;
@@ -162,7 +172,7 @@ TEST(WorkloadResultTest, ToStringMentionsKeyFields) {
 
 TEST(WorkloadResultTest, PerQueryBreakdownIsPopulatedAndPrinted) {
   DatabasePtr db = SmallSsbDb();
-  EngineContext ctx(TestConfig(), db);
+  EngineContext ctx(SingleDeviceConfig(), db);
   StrategyRunner runner(&ctx, Strategy::kGpuOnly);
   WorkloadRunOptions options;
   options.repetitions = 2;
