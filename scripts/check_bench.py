@@ -31,6 +31,19 @@ floor holds on any host; CI's 2-device smoke uses a relaxed floor).
 Usage:
   scripts/check_bench.py scaleout.json --scaleout [--min-speedup 1.5]
 
+With --availability the candidate is a fig26_availability artifact and the
+gate checks coordinated graceful degradation: every phase (baseline, each
+chaos episode, each recovery probe) must serve queries (no zero-goodput
+blackout), the device-loss phase must keep at least --goodput-floor of the
+baseline's goodput, nothing may be stranded (watchdog still watching, device
+heap still held) after the drain, and the system must report recovery — back
+at brownout L0 with a baseline-comparable p99 — within --recovery-ceiling
+seconds.
+
+Usage:
+  scripts/check_bench.py fig26.json --availability
+                         [--goodput-floor 0.1] [--recovery-ceiling 20.0]
+
 Exit code 0 = within tolerance, 1 = regression, 2 = malformed input.
 """
 
@@ -190,6 +203,86 @@ def check_scaleout(path, min_speedup):
     return 0
 
 
+def check_availability(path, goodput_floor, recovery_ceiling):
+    """Gate on a fig26_availability artifact: degrade, survive, recover."""
+    try:
+        with open(path) as fp:
+            doc = json.load(fp)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    phases = doc.get("phases", [])
+    summary = doc.get("summary", {})
+    if not phases or not summary:
+        print(f"error: {path} holds no phases/summary", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'phase':<16}{'offered':>9}{'goodput':>9}{'p99_ms':>9}"
+          f"{'level':>7}")
+    baseline = None
+    for phase in phases:
+        name = phase.get("name", "?")
+        goodput = phase.get("goodput_qps", 0.0)
+        print(f"{name:<16}{phase.get('offered', 0):>9}"
+              f"{goodput:>9.2f}{phase.get('p99_ms', 0.0):>9.1f}"
+              f"{phase.get('brownout_level_end', -1):>7}")
+        if baseline is None:
+            baseline = phase
+        if phase.get("completed", 0) == 0 or goodput <= 0:
+            failures.append(
+                f"phase {name}: zero goodput — graceful degradation must "
+                f"never black out the service")
+
+    base_goodput = baseline.get("goodput_qps", 0.0) if baseline else 0.0
+    loss = next((p for p in phases if p.get("name") == "device_loss"), None)
+    if loss is None:
+        failures.append("no device_loss phase in the artifact")
+    elif base_goodput > 0:
+        floor = goodput_floor * base_goodput
+        if loss.get("goodput_qps", 0.0) < floor:
+            failures.append(
+                f"device_loss goodput {loss.get('goodput_qps', 0.0):.2f} qps "
+                f"fell below the floor {floor:.2f} "
+                f"({goodput_floor:.0%} of baseline {base_goodput:.2f})")
+
+    if not summary.get("recovered", False):
+        failures.append("system did not report recovery (brownout back at "
+                        "L0 with baseline-comparable p99)")
+    recovery_s = summary.get("recovery_time_s", float("inf"))
+    if recovery_s > recovery_ceiling:
+        failures.append(
+            f"recovery took {recovery_s:.1f}s, above the "
+            f"{recovery_ceiling:.1f}s ceiling")
+    if summary.get("final_brownout_level", -1) != 0:
+        failures.append(
+            f"final brownout level is "
+            f"L{summary.get('final_brownout_level')} — must end at L0")
+    if summary.get("stranded_queries", 1) != 0:
+        failures.append(
+            f"{summary.get('stranded_queries')} queries still under "
+            f"watchdog watch after the drain — stranded work")
+    if summary.get("heap_used_after_drain", 1) != 0:
+        failures.append(
+            f"{summary.get('heap_used_after_drain')} bytes of device heap "
+            f"still held after the drain — leaked device resources")
+
+    print(f"\nrecovered={summary.get('recovered')} "
+          f"recovery_time_s={summary.get('recovery_time_s')} "
+          f"stranded={summary.get('stranded_queries')} "
+          f"hedges={summary.get('hedge_attempts')}/"
+          f"{summary.get('hedge_successes')} "
+          f"watchdog_fires={summary.get('watchdog_fires')}")
+
+    if failures:
+        print("\nREGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("OK: served through every chaos phase, recovered, nothing stranded")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("candidate", help="fresh benchmark JSON to check")
@@ -202,6 +295,16 @@ def main():
                         help="treat candidate as a serve_slo sweep artifact")
     parser.add_argument("--scaleout", action="store_true",
                         help="treat candidate as a fig18_scaleout artifact")
+    parser.add_argument("--availability", action="store_true",
+                        help="treat candidate as a fig26_availability "
+                             "artifact")
+    parser.add_argument("--goodput-floor", type=float, default=0.1,
+                        help="device-loss goodput floor as a fraction of "
+                             "baseline goodput for --availability "
+                             "(default 0.1)")
+    parser.add_argument("--recovery-ceiling", type=float, default=20.0,
+                        help="max seconds to recover after the chaos ends "
+                             "for --availability (default 20.0)")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="multi-device speedup floor for --scaleout "
                              "(default 1.5 — the 4-device acceptance bar; "
@@ -219,6 +322,9 @@ def main():
         return check_serve_slo(args.candidate, args.shed_tolerance)
     if args.scaleout:
         return check_scaleout(args.candidate, args.min_speedup)
+    if args.availability:
+        return check_availability(args.candidate, args.goodput_floor,
+                                  args.recovery_ceiling)
 
     baseline = load_medians(args.baseline)
     candidate = load_medians(args.candidate)

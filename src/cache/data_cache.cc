@@ -30,6 +30,11 @@ DataCache::DataCache(size_t capacity_bytes, EvictionPolicy policy,
 
 DataCache::~DataCache() = default;
 
+void DataCache::SetAdmissionGate(std::function<bool()> gate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  admission_gate_ = std::move(gate);
+}
+
 void DataCache::Lease::Release() {
   if (cache_ != nullptr) {
     cache_->ReleaseLease(key_);
@@ -112,7 +117,8 @@ DataCache::Access DataCache::RequireOnDevice(const ColumnPtr& column,
         // Marked for eviction while we waited: treat as a miss below.
       }
       ++stats_.misses;
-      if (bytes <= capacity_bytes_ && EvictUntilFits(bytes)) {
+      const bool admit = !admission_gate_ || admission_gate_();
+      if (admit && bytes <= capacity_bytes_ && EvictUntilFits(bytes)) {
         // Reserve the entry in "loading" state, transfer outside the lock.
         Entry entry;
         entry.column = column;

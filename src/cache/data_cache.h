@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -135,6 +136,14 @@ class DataCache {
   /// Drops every droppable entry (leased entries are marked for eviction).
   void Clear();
 
+  /// Installs a demand-admission gate (null clears). While the gate returns
+  /// false, RequireOnDevice misses still transfer the column but no longer
+  /// demand-insert it (the transient path): the resident hot set stops
+  /// churning under pressure. The brownout controller's L2 level is the
+  /// intended caller; the gate must be cheap and lock-free (it is invoked
+  /// under the cache mutex).
+  void SetAdmissionGate(std::function<bool()> gate);
+
   size_t capacity_bytes() const { return capacity_bytes_; }
   size_t used_bytes() const;
   DataCacheStats stats() const;
@@ -189,6 +198,7 @@ class DataCache {
   const int device_id_;
 
   mutable std::mutex mutex_;
+  std::function<bool()> admission_gate_;
   std::condition_variable load_cv_;  // per-entry "ready" latch
   std::unordered_map<std::string, Entry> entries_;
   size_t used_bytes_ = 0;

@@ -86,8 +86,16 @@ struct SystemConfig {
   /// and a lost device will not come back for this operator.
   int device_retry_limit = 2;
   /// Modeled backoff charged before device retry k (exponential:
-  /// 2^k * this many microseconds).
+  /// 2^k * this many microseconds — the *ceiling* when jitter is on).
   double device_retry_backoff_micros = 50.0;
+  /// Full jitter on the retry backoff: each retry sleeps a uniform random
+  /// fraction of the exponential ceiling instead of exactly the ceiling.
+  /// Without it, concurrent sessions that hit the same fault burst retry in
+  /// lockstep and collide again on the shared device. Draws come from a
+  /// per-Simulator RNG seeded with `retry_jitter_seed`, so runs are
+  /// reproducible under tests.
+  bool device_retry_jitter = true;
+  uint64_t retry_jitter_seed = 0x5eed'ba0full;
   /// Retries granted to a result copy-back transfer that failed transiently
   /// (D2H copies have no CPU fallback — the authoritative bytes are on the
   /// device — so the only recovery is retrying the wire).

@@ -201,11 +201,30 @@ void DopBudget::Release(int count) {
   if (count > 0) available_.fetch_add(count, std::memory_order_acq_rel);
 }
 
+namespace {
+thread_local int t_dop_cap = 0;  // 0 = uncapped
+
+int ApplyDopCap(int max_dop) {
+  const int cap = t_dop_cap;
+  if (cap > 0 && (max_dop <= 0 || cap < max_dop)) return cap;
+  return max_dop;
+}
+}  // namespace
+
+ScopedDopCap::ScopedDopCap(int cap) : previous_(t_dop_cap) {
+  if (cap > 0 && (previous_ == 0 || cap < previous_)) t_dop_cap = cap;
+}
+
+ScopedDopCap::~ScopedDopCap() { t_dop_cap = previous_; }
+
+int ScopedDopCap::current() { return t_dop_cap; }
+
 int MaxParallelWorkers(size_t total, size_t morsel_rows, int max_dop) {
   if (total == 0) return 1;
   if (morsel_rows == 0) morsel_rows = 1;
   if (max_dop <= 0) max_dop = GlobalKernelConfig().max_dop;
   if (max_dop <= 0) max_dop = DopBudget::Global().capacity();
+  max_dop = ApplyDopCap(max_dop);
   const size_t morsels = (total + morsel_rows - 1) / morsel_rows;
   return static_cast<int>(std::min<size_t>(std::max(max_dop, 1), morsels));
 }
@@ -216,6 +235,7 @@ int ParallelFor(size_t total, size_t morsel_rows, const MorselFn& fn,
   if (morsel_rows == 0) morsel_rows = 1;
   if (max_dop <= 0) max_dop = GlobalKernelConfig().max_dop;
   if (max_dop <= 0) max_dop = DopBudget::Global().capacity();
+  max_dop = ApplyDopCap(max_dop);
 
   const size_t morsels = (total + morsel_rows - 1) / morsel_rows;
   const int want =

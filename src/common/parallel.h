@@ -107,6 +107,26 @@ int ParallelFor(size_t total, size_t morsel_rows, const MorselFn& fn,
 /// Kernels size per-worker scratch with this before starting the loop.
 int MaxParallelWorkers(size_t total, size_t morsel_rows, int max_dop = 0);
 
+/// Thread-local DoP ceiling, applied on top of whatever `max_dop` /
+/// GlobalKernelConfig() resolve to, for every ParallelFor issued by this
+/// thread while the scope is open. Lets a supervisor (the brownout
+/// controller's L1 level) throttle one query's intra-operator parallelism
+/// without mutating the process-global kernel config under other queries.
+/// Nests: the innermost scope's cap wins only if it is tighter.
+class ScopedDopCap {
+ public:
+  explicit ScopedDopCap(int cap);
+  ~ScopedDopCap();
+  ScopedDopCap(const ScopedDopCap&) = delete;
+  ScopedDopCap& operator=(const ScopedDopCap&) = delete;
+
+  /// The cap active on this thread; 0 means uncapped.
+  static int current();
+
+ private:
+  int previous_;
+};
+
 }  // namespace hetdb
 
 #endif  // HETDB_COMMON_PARALLEL_H_

@@ -1,6 +1,8 @@
 #include "engine/chopping_executor.h"
 
 #include <algorithm>
+#include <functional>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -9,6 +11,33 @@
 #include "telemetry/trace_recorder.h"
 
 namespace hetdb {
+
+namespace {
+
+/// Stable fingerprint of the plan *template*: the operator shapes plus the
+/// base columns the scans read. Two executions of the same SSB query hash
+/// identically; two different templates almost surely do not. This is the
+/// brownout controller's hot-template key (L2 pins cold templates to the
+/// CPU), so it deliberately ignores runtime state like cardinalities.
+uint64_t PlanTemplateFingerprint(const PlanNode& root) {
+  uint64_t fingerprint = 1469598103934665603ull;  // FNV offset basis
+  const std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    fingerprint = (fingerprint ^ static_cast<uint64_t>(node.op())) *
+                  1099511628211ull;
+    if (node.op() == PlanOp::kScan) {
+      const auto& scan = static_cast<const ScanNode&>(node);
+      for (const auto& [key, column] : scan.base_columns()) {
+        fingerprint = (fingerprint ^ std::hash<std::string>{}(key)) *
+                      1099511628211ull;
+      }
+    }
+    for (const PlanNodePtr& child : node.children()) walk(*child);
+  };
+  walk(root);
+  return fingerprint;
+}
+
+}  // namespace
 
 ChoppingExecutor::ChoppingExecutor(EngineContext* ctx, int cpu_workers,
                                    int gpu_workers)
@@ -76,6 +105,19 @@ std::future<Result<TablePtr>> ChoppingExecutor::Submit(PlanNodePtr root,
   query->stats->set_query_id(query->query_id);
   query->stats->MarkSubmitted();
   query->home_device = ctx_->sharding().QueryHomeDevice(*query->root);
+  // Brownout hot-template bookkeeping: every submission votes for its
+  // template; at L2 only templates with an established hit count keep their
+  // device privileges, everything cold runs CPU-side for the duration.
+  query->template_fp = PlanTemplateFingerprint(*query->root);
+  ctx_->brownout().NoteQuery(query->template_fp);
+  query->device_allowed =
+      ctx_->brownout().AllowDeviceForTemplate(query->template_fp);
+  // Stuck-query backstop: progress fingerprint scans + deadline-multiple
+  // kill fire through the query's own cancel token, so the normal cancel
+  // path does the cleanup.
+  ctx_->watchdog().Register(query->query_id, query->stats,
+                            query->controls.cancel, query->controls.deadline,
+                            query->controls.has_deadline());
   std::future<Result<TablePtr>> future = query->promise.get_future();
 
   {
@@ -170,6 +212,15 @@ void ChoppingExecutor::ScheduleTask(const QueryExecPtr& query, OpTask* task) {
   for (OpTask* child : task->children) inputs.push_back(&child->result);
 
   ProcessorKind kind = query->placer(*task->node, inputs, *ctx_);
+  if (kind == ProcessorKind::kGpu &&
+      (!query->device_allowed || ctx_->brownout().level_int() >= 3)) {
+    // Brownout pinning: a cold template at L2, or survival mode (L3) entered
+    // after this query was admitted. Lock-free check; the sharding device
+    // gate would also catch L3, but pinning here skips the placement work
+    // and counts the episode under its own metric.
+    kind = ProcessorKind::kCpu;
+    ctx_->brownout().NoteCpuPin();
+  }
 
   size_t input_bytes = 0;
   for (OperatorResult* input : inputs) input_bytes += input->table_bytes();
@@ -322,6 +373,9 @@ void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
   // chopping pool cannot oversubscribe the machine. Best effort: with no
   // token available the operator still runs (kernels just stay serial).
   DopBudget::Token dop_token(&DopBudget::Global());
+  // Brownout L1+: clamp kernel-internal morsel parallelism on this worker
+  // for the duration of the operator (0 = uncapped, a no-op below L1).
+  ScopedDopCap brownout_dop_cap(ctx_->brownout().DopCap());
   Stopwatch run_watch;
   Result<ExecutedOperator> executed =
       ExecuteWithFallback(*task->node, inputs, kind, *ctx_, task->device);
@@ -363,6 +417,7 @@ void ChoppingExecutor::RunTask(const QueryExecPtr& query, OpTask* task,
       task->result = OperatorResult();
       return;
     }
+    ctx_->watchdog().Deregister(query->query_id);
     ctx_->metrics().RecordQueryDone();
     query->stats->MarkFinished(/*ok=*/true);
     ctx_->flight_recorder().RecordQuerySummary(query->query_id,
@@ -385,6 +440,7 @@ void ChoppingExecutor::FailQuery(const QueryExecPtr& query,
                                  const Status& status) {
   query->failed.store(true, std::memory_order_release);
   if (!query->done.exchange(true, std::memory_order_acq_rel)) {
+    ctx_->watchdog().Deregister(query->query_id);
     if (query->stats != nullptr) {
       query->stats->MarkFinished(/*ok=*/false, status.ToString());
       ctx_->flight_recorder().RecordQuerySummary(

@@ -129,6 +129,12 @@ class ChoppingExecutor {
     /// Sharding home (largest scan's affinity device); biases every device
     /// pick so the query's tasks stay on one device.
     int home_device = -1;
+    /// Plan-template fingerprint (op shapes + base columns), the brownout
+    /// controller's hot-template key.
+    uint64_t template_fp = 0;
+    /// Submit-time brownout verdict: false pins every operator of this query
+    /// to the CPU (L2 cold-template pinning / L3 survival mode).
+    bool device_allowed = true;
   };
 
   using QueryExecPtr = std::shared_ptr<QueryExec>;

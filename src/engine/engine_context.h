@@ -5,9 +5,13 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "cache/data_cache.h"
 #include "common/config.h"
+#include "fault/brownout.h"
 #include "fault/circuit_breaker.h"
+#include "fault/watchdog.h"
 #include "hype/cost_model.h"
 #include "hype/load_tracker.h"
 #include "hype/scheduler.h"
@@ -74,6 +78,21 @@ class EngineContext {
     }
     sharding_ = std::make_unique<DeviceShardingPolicy>(
         simulator_.get(), std::move(cache_ptrs), std::move(breaker_ptrs));
+    brownout_ = std::make_unique<BrownoutController>(
+        BrownoutController::Options(), devices, &telemetry_->registry(),
+        flight_recorder_.get());
+    watchdog_ = std::make_unique<StuckQueryWatchdog>(
+        StuckQueryWatchdog::Options(), &telemetry_->registry(),
+        flight_recorder_.get());
+    // Degradation hooks: at L2+ cache misses stop demand-inserting, and the
+    // placement layer skips devices the controller benched (all of them at
+    // L3). Both gates are lock-free atomic reads on the controller.
+    for (int d = 0; d < devices; ++d) {
+      caches_[static_cast<size_t>(d)]->SetAdmissionGate(
+          [this] { return brownout_->AllowCacheAdmission(); });
+    }
+    sharding_->SetDeviceGate(
+        [this](int device) { return brownout_->DevicePlacementAllowed(device); });
   }
 
   EngineContext(const EngineContext&) = delete;
@@ -104,6 +123,10 @@ class EngineContext {
   }
   /// Column affinity, operator->device placement, and loss rebalancing.
   DeviceShardingPolicy& sharding() { return *sharding_; }
+  /// Coordinated graceful-degradation ladder (DESIGN.md §13).
+  BrownoutController& brownout() { return *brownout_; }
+  /// Stuck-query backstop: progress-stall / deadline-multiple killer.
+  StuckQueryWatchdog& watchdog() { return *watchdog_; }
   const DatabasePtr& database() const { return database_; }
   const SystemConfig& config() const { return simulator_->config(); }
 
@@ -128,11 +151,15 @@ class EngineContext {
     return false;
   }
 
-  /// Feeds each device's thrashing detector one observation window from the
-  /// engine's cumulative counters. The executors call this once per
-  /// finished query.
+  /// Feeds each device's thrashing detector — and the brownout controller —
+  /// one observation window from the engine's cumulative counters. The
+  /// executors call this once per finished query.
   void NoteQueryFinished() {
-    for (int d = 0; d < device_count(); ++d) {
+    const int devices = device_count();
+    BrownoutSignals signals;
+    signals.device_thrashing.resize(static_cast<size_t>(devices), false);
+    int open_breakers = 0;
+    for (int d = 0; d < devices; ++d) {
       const DataCacheStats cache_stats =
           caches_[static_cast<size_t>(d)]->stats();
       ThrashingDetector::Sample sample;
@@ -151,8 +178,36 @@ class EngineContext {
           static_cast<int64_t>(simulator_->device_heap(d).used());
       sample.heap_capacity_bytes =
           static_cast<int64_t>(simulator_->device_heap(d).capacity());
-      detectors_[static_cast<size_t>(d)]->Update(sample);
+      const ThrashingDetector::State thrash =
+          detectors_[static_cast<size_t>(d)]->Update(sample);
+
+      signals.worst_thrash_state =
+          std::max(signals.worst_thrash_state, static_cast<int>(thrash));
+      signals.device_thrashing[static_cast<size_t>(d)] =
+          thrash == ThrashingDetector::State::kThrashing;
+      // device_available() (not state()) on purpose: the peek advances the
+      // breaker's open-state cooldown, so a device the brownout pinned away
+      // from all traffic (L3) still half-opens once its wall-clock floor
+      // elapses — this sampling path is what keeps recovery live when no
+      // placement ever consults the breaker.
+      DeviceCircuitBreaker& breaker = *breakers_[static_cast<size_t>(d)];
+      if (!breaker.device_available()) {
+        ++open_breakers;
+        signals.any_breaker_open = true;
+      } else if (breaker.state() == DeviceCircuitBreaker::State::kHalfOpen) {
+        signals.any_breaker_half_open = true;
+      }
+      if (sample.heap_capacity_bytes > 0) {
+        signals.heap_pressure = std::max(
+            signals.heap_pressure,
+            static_cast<double>(sample.heap_used_bytes) /
+                static_cast<double>(sample.heap_capacity_bytes));
+      }
+      signals.gpu_attempts += sample.gpu_attempts;
+      signals.gpu_aborts += sample.gpu_aborts;
     }
+    signals.all_breakers_open = open_breakers == devices;
+    brownout_->Update(signals);
   }
 
   /// Clears all per-run statistics (buses, allocators, caches, metrics)
@@ -180,6 +235,10 @@ class EngineContext {
   std::vector<std::unique_ptr<ThrashingDetector>> detectors_;  // after recorder
   std::vector<std::unique_ptr<DeviceCircuitBreaker>> breakers_;
   std::unique_ptr<DeviceShardingPolicy> sharding_;  // after caches/breakers
+  /// After sharding_/caches_ (their gates point here) and after telemetry_/
+  /// flight_recorder_ (metrics and dumps on transitions).
+  std::unique_ptr<BrownoutController> brownout_;
+  std::unique_ptr<StuckQueryWatchdog> watchdog_;  // joins its thread first
   DatabasePtr database_;
 };
 

@@ -301,8 +301,7 @@ Result<ExecutedOperator> ExecuteWithFallback(
         if (status.IsUnavailable() && attempt < config.device_retry_limit &&
             breaker.AllowDevice()) {
           const double backoff_micros =
-              config.device_retry_backoff_micros *
-              static_cast<double>(1 << attempt);
+              ctx.simulator().RetryBackoffMicros(attempt);
           ctx.simulator().clock().Charge(backoff_micros);
           MetricRegistry& registry = ctx.metrics().registry();
           registry.GetCounter("engine.device_retries").Increment();
@@ -346,8 +345,7 @@ Status TransferWithRetry(size_t bytes, TransferDirection direction,
         attempt >= config.transfer_retry_limit) {
       return status;
     }
-    const double backoff_micros =
-        config.device_retry_backoff_micros * static_cast<double>(1 << attempt);
+    const double backoff_micros = ctx.simulator().RetryBackoffMicros(attempt);
     ctx.simulator().clock().Charge(backoff_micros);
     ctx.metrics().registry().GetCounter("engine.transfer_retries").Increment();
   }

@@ -229,21 +229,25 @@ PlanNodePtr CloneWithChildren(const PlanNodePtr& node,
 
 }  // namespace
 
-PlanNodePtr FusePipelines(const PlanNodePtr& node) {
+PlanNodePtr FusePipelines(const PlanNodePtr& node, int max_fused_joins) {
   if (node == nullptr) return node;
 
   ChainInfo chain;
-  if (CollectChain(node, &chain) && ValidateChain(chain)) {
+  if (CollectChain(node, &chain) &&
+      (max_fused_joins < 0 ||
+       chain.builds_top_down.size() <=
+           static_cast<size_t>(max_fused_joins)) &&
+      ValidateChain(chain)) {
     // Members run bottom-up inside the fused node; its children are the
     // (recursively rewritten) source plus one build subtree per join, in
     // bottom-up member order.
     std::vector<PlanNodePtr> members(chain.members_top_down.rbegin(),
                                      chain.members_top_down.rend());
     std::vector<PlanNodePtr> children;
-    children.push_back(FusePipelines(chain.source));
+    children.push_back(FusePipelines(chain.source, max_fused_joins));
     for (auto it = chain.builds_top_down.rbegin();
          it != chain.builds_top_down.rend(); ++it) {
-      children.push_back(FusePipelines(*it));
+      children.push_back(FusePipelines(*it, max_fused_joins));
     }
     return std::make_shared<FusedPipelineNode>(std::move(children),
                                                std::move(members));
@@ -253,7 +257,7 @@ PlanNodePtr FusePipelines(const PlanNodePtr& node) {
   children.reserve(node->children().size());
   bool changed = false;
   for (const PlanNodePtr& child : node->children()) {
-    PlanNodePtr rewritten = FusePipelines(child);
+    PlanNodePtr rewritten = FusePipelines(child, max_fused_joins);
     changed = changed || rewritten != child;
     children.push_back(std::move(rewritten));
   }
@@ -261,9 +265,10 @@ PlanNodePtr FusePipelines(const PlanNodePtr& node) {
   return CloneWithChildren(node, std::move(children));
 }
 
-PlanNodePtr OptimizePlan(const PlanNodePtr& root, const QueryStats* stats) {
+PlanNodePtr OptimizePlan(const PlanNodePtr& root, const QueryStats* stats,
+                         int max_fused_joins) {
   if (!GlobalKernelConfig().fusion) return root;
-  PlanNodePtr fused = FusePipelines(root);
+  PlanNodePtr fused = FusePipelines(root, max_fused_joins);
   const bool stats_compatible = stats == nullptr || stats->nodes().empty() ||
                                 stats->Find(fused.get()) != nullptr;
   return stats_compatible ? fused : root;

@@ -20,7 +20,15 @@ namespace hetdb {
 /// The rewrite is structural only: it never changes results. Unchanged
 /// subtrees are returned as the same node objects, so running the pass on an
 /// already-fused plan is the identity (FusedPipeline nodes break chains).
-PlanNodePtr FusePipelines(const PlanNodePtr& root);
+///
+/// `max_fused_joins` bounds the join members one fused pipeline may absorb
+/// (-1 = unlimited). A chain over the bound is declined whole; the recursion
+/// then fuses the shorter chains below it, so the plan degrades to several
+/// smaller pipelines instead of one deep one. The brownout controller's L1
+/// level uses `1` to disable *multi*-join fusion: deep fused pipelines hold
+/// every build table on-device at once, exactly the footprint to shed first
+/// under heap pressure.
+PlanNodePtr FusePipelines(const PlanNodePtr& root, int max_fused_joins = -1);
 
 class QueryStats;
 
@@ -29,8 +37,10 @@ class QueryStats;
 /// actually execute. When `stats` was already registered against a
 /// *different* plan, the rewrite is declined and `root` is returned
 /// unchanged — adopting it would orphan the caller's per-node attribution.
+/// `max_fused_joins` passes through to FusePipelines (brownout L1 sets 1).
 PlanNodePtr OptimizePlan(const PlanNodePtr& root,
-                         const QueryStats* stats = nullptr);
+                         const QueryStats* stats = nullptr,
+                         int max_fused_joins = -1);
 
 }  // namespace hetdb
 

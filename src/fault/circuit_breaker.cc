@@ -47,6 +47,7 @@ void DeviceCircuitBreaker::TransitionLocked(State next) {
   if (next == State::kOpen) {
     ++trips_;
     cooldown_denials_seen_ = 0;
+    opened_at_ = std::chrono::steady_clock::now();
   }
   if (next == State::kHalfOpen) {
     probes_inflight_ = 0;
@@ -85,8 +86,20 @@ void DeviceCircuitBreaker::DenyLocked() {
   }
 }
 
+void DeviceCircuitBreaker::MaybeCooldownLocked() {
+  if (state_ != State::kOpen || options_.cooldown_micros == 0) return;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - opened_at_);
+  if (static_cast<uint64_t>(elapsed.count()) >= options_.cooldown_micros) {
+    // Unlike the denial-counted path, the wait already happened in wall
+    // time, so the triggering request itself becomes the first probe.
+    TransitionLocked(State::kHalfOpen);
+  }
+}
+
 bool DeviceCircuitBreaker::AllowDevice() {
   std::lock_guard<std::mutex> lock(mutex_);
+  MaybeCooldownLocked();
   switch (state_) {
     case State::kClosed:
       return true;
@@ -111,6 +124,7 @@ bool DeviceCircuitBreaker::AllowDevice() {
 
 bool DeviceCircuitBreaker::device_available() {
   std::lock_guard<std::mutex> lock(mutex_);
+  MaybeCooldownLocked();
   if (state_ != State::kOpen) return true;
   DenyLocked();
   return false;

@@ -1,6 +1,7 @@
 #ifndef HETDB_FAULT_CIRCUIT_BREAKER_H_
 #define HETDB_FAULT_CIRCUIT_BREAKER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -29,10 +30,14 @@ namespace hetdb {
 ///               >= min_samples outcomes and the abort ratio reaches
 ///               trip_ratio, the breaker opens.
 ///   kOpen     — every AllowDevice() is denied (operators run CPU-only).
-///               After cooldown_denials denials the breaker half-opens.
-///               Cooldown is counted in denied *requests*, not wall time, so
-///               the state machine is deterministic under the no-sleep unit
-///               test configuration.
+///               After cooldown_denials denials — or once cooldown_micros of
+///               wall time have elapsed since the trip, whichever comes
+///               first — the breaker half-opens. The denial count keeps the
+///               state machine deterministic under the no-sleep unit test
+///               configuration; the wall-clock floor keeps an *idle* device
+///               from staying open forever when there is no traffic to count
+///               (the first request after the floor elapses is admitted as a
+///               probe).
 ///   kHalfOpen — up to half_open_probes concurrent device attempts are
 ///               admitted. probes_to_close successes close the breaker; any
 ///               abort re-opens it.
@@ -56,6 +61,11 @@ class DeviceCircuitBreaker {
     double trip_ratio = 0.6;
     /// Denied device requests in kOpen before probing (half-open).
     int cooldown_denials = 16;
+    /// Wall-clock floor on the open-state cooldown: once this much time has
+    /// passed since the trip, the next request half-opens the breaker even
+    /// if fewer than cooldown_denials requests arrived meanwhile. 0 disables
+    /// the floor (pure request-counted cooldown, for deterministic tests).
+    uint64_t cooldown_micros = 250'000;
     /// Concurrent device probes admitted while half-open.
     int half_open_probes = 2;
     /// Probe successes needed to close again.
@@ -104,6 +114,8 @@ class DeviceCircuitBreaker {
  private:
   void TransitionLocked(State next);
   void DenyLocked();
+  /// Half-opens an open breaker whose wall-clock cooldown floor has elapsed.
+  void MaybeCooldownLocked();
 
   mutable std::mutex mutex_;
   Options options_;
@@ -113,6 +125,7 @@ class DeviceCircuitBreaker {
   int window_count_ = 0;
   int window_aborts_ = 0;
   int cooldown_denials_seen_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
   int probes_inflight_ = 0;
   int probe_successes_ = 0;
   uint64_t trips_ = 0;

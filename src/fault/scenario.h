@@ -1,0 +1,139 @@
+#ifndef HETDB_FAULT_SCENARIO_H_
+#define HETDB_FAULT_SCENARIO_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "fault/fault_injector.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metric_registry.h"
+
+namespace hetdb {
+
+/// One scripted failure episode in a chaos timeline.
+enum class ChaosEpisodeKind {
+  /// The device falls off the bus: every injector consultation returns
+  /// DeviceLost until the episode ends.
+  kDeviceLoss,
+  /// Transfers and kernels succeed but take `latency_factor` times their
+  /// modeled duration with probability `probability` per event.
+  kLatencyStorm,
+  /// Device allocations of at least `min_bytes` fail with ResourceExhausted
+  /// with probability `probability` — scripted heap contention on top of
+  /// whatever the workload itself causes.
+  kHeapSqueeze,
+};
+
+const char* ChaosEpisodeKindName(ChaosEpisodeKind kind);
+
+struct ChaosEpisode {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  ChaosEpisodeKind kind = ChaosEpisodeKind::kDeviceLoss;
+  /// Victim device, or -1 for every device.
+  int device = -1;
+  double probability = 1.0;
+  double latency_factor = 8.0;
+  size_t min_bytes = 0;
+  std::string name;  ///< optional label for records/reports
+};
+
+/// A declarative chaos timeline: episodes over a run's wall clock.
+///
+/// Text DSL, one episode per line (blank lines and `#` comments skipped):
+///
+///   at <start>s for <duration>s <kind> [key=value ...]
+///
+/// where <kind> is `device-loss`, `latency-storm`, or `heap-squeeze` and
+/// the keys are `device=<n|-1>`, `p=<0..1>`, `factor=<x>`,
+/// `min-bytes=<n>`, `name=<label>`. Example:
+///
+///   at 1.0s for 2.0s device-loss device=1 name=dev1_down
+///   at 4.0s for 1.5s heap-squeeze p=0.7 min-bytes=65536
+struct ChaosScenario {
+  std::vector<ChaosEpisode> episodes;
+
+  static Result<ChaosScenario> Parse(const std::string& text);
+  std::string ToString() const;
+};
+
+/// Drives a ChaosScenario against a machine's fault injectors.
+///
+/// Two modes:
+///  * `Start()`/`Stop()` — a timer thread applies and ends episodes at
+///    their scripted wall-clock offsets (offsets scale by `time_scale`).
+///  * `ApplyEpisode(i)` / `EndEpisode(i)` — the caller steps the timeline
+///    manually at known points (deterministic benches and tests).
+///
+/// Overlapping episodes on one device compose: ending one re-applies the
+/// schedules of the episodes still active on that device (the injector
+/// holds one schedule per site, so re-derivation is the simple way to keep
+/// "end" from clobbering a concurrent episode).
+///
+/// Hooks let the caller mirror device-loss into layers above this library
+/// (sharding rebalance, cache drop) without this library linking them.
+class ScenarioOrchestrator {
+ public:
+  struct Hooks {
+    /// Called when a device-loss episode starts / ends on `device`.
+    std::function<void(int device)> on_device_lost;
+    std::function<void(int device)> on_device_restored;
+  };
+
+  ScenarioOrchestrator(ChaosScenario scenario,
+                       std::vector<FaultInjector*> injectors,
+                       MetricRegistry* registry = nullptr,
+                       FlightRecorder* recorder = nullptr,
+                       Hooks hooks = {});
+  ~ScenarioOrchestrator();
+
+  ScenarioOrchestrator(const ScenarioOrchestrator&) = delete;
+  ScenarioOrchestrator& operator=(const ScenarioOrchestrator&) = delete;
+
+  /// Launches the timeline thread. `time_scale` multiplies every scripted
+  /// offset (0.5 = twice as fast).
+  void Start(double time_scale = 1.0);
+  /// Ends the timeline: joins the thread and ends every active episode.
+  void Stop();
+
+  /// Manual stepping (idempotent per episode).
+  void ApplyEpisode(size_t index);
+  void EndEpisode(size_t index);
+
+  const ChaosScenario& scenario() const { return scenario_; }
+  /// Episodes currently active.
+  int active_episodes() const;
+
+ private:
+  void TimelineLoop(double time_scale);
+  void ApplyLocked(size_t index);
+  void EndLocked(size_t index);
+  /// Recomputes the injector schedules on `device` from the episodes still
+  /// active there (caller holds mutex_).
+  void ReapplyDeviceLocked(int device);
+  std::vector<int> VictimDevices(const ChaosEpisode& episode) const;
+
+  const ChaosScenario scenario_;
+  const std::vector<FaultInjector*> injectors_;
+  MetricRegistry* const registry_;
+  FlightRecorder* const recorder_;
+  const Hooks hooks_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+  std::vector<bool> applied_;
+  std::vector<bool> ended_;
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_FAULT_SCENARIO_H_

@@ -1,0 +1,167 @@
+#include "fault/watchdog.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hetdb {
+
+namespace {
+constexpr size_t kKilledHistory = 4096;
+}  // namespace
+
+StuckQueryWatchdog::StuckQueryWatchdog(const Options& options,
+                                       MetricRegistry* registry,
+                                       FlightRecorder* recorder)
+    : options_(options), registry_(registry), recorder_(recorder) {}
+
+StuckQueryWatchdog::~StuckQueryWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StuckQueryWatchdog::EnsureThreadLocked() {
+  if (thread_started_ || options_.scan_period_micros == 0) return;
+  thread_started_ = true;
+  thread_ = std::thread([this] { ScanLoop(); });
+}
+
+void StuckQueryWatchdog::Register(
+    uint64_t query_id, QueryStatsPtr stats, CancelToken cancel,
+    std::chrono::steady_clock::time_point deadline, bool has_deadline) {
+  if (!options_.enabled || stats == nullptr || !cancel.cancellable()) return;
+  const auto now = std::chrono::steady_clock::now();
+  Watch watch;
+  watch.stats = std::move(stats);
+  watch.cancel = std::move(cancel);
+  watch.registered_at = now;
+  watch.deadline = deadline;
+  watch.has_deadline = has_deadline;
+  watch.last_progress = now;
+  std::lock_guard<std::mutex> lock(mutex_);
+  EnsureThreadLocked();
+  watches_[query_id] = std::move(watch);
+  if (registry_ != nullptr) {
+    registry_->GetGauge("watchdog.active")
+        .Set(static_cast<int64_t>(watches_.size()));
+  }
+}
+
+void StuckQueryWatchdog::Deregister(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  watches_.erase(query_id);
+  if (registry_ != nullptr) {
+    registry_->GetGauge("watchdog.active")
+        .Set(static_cast<int64_t>(watches_.size()));
+  }
+}
+
+void StuckQueryWatchdog::ScanLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::microseconds(options_.scan_period_micros),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    Scan(std::chrono::steady_clock::now());
+    lock.lock();
+  }
+}
+
+void StuckQueryWatchdog::CheckNow() {
+  Scan(std::chrono::steady_clock::now());
+}
+
+void StuckQueryWatchdog::Scan(std::chrono::steady_clock::time_point now) {
+  struct Victim {
+    uint64_t query_id;
+    CancelToken cancel;
+    std::string reason;
+  };
+  std::vector<Victim> victims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [query_id, watch] : watches_) {
+      if (killed_.count(query_id) != 0) continue;  // already fired
+      const int64_t ops = watch.stats->operators_run();
+      const int64_t run = watch.stats->run_micros();
+      const int64_t transfers = watch.stats->transfers();
+      if (ops != watch.last_ops || run != watch.last_run_micros ||
+          transfers != watch.last_transfers) {
+        watch.last_ops = ops;
+        watch.last_run_micros = run;
+        watch.last_transfers = transfers;
+        watch.last_progress = now;
+        // A query making progress can still be a deadline-multiple or
+        // runtime-ceiling victim below — fall through.
+      }
+      std::string reason;
+      const auto since_progress =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - watch.last_progress)
+              .count();
+      const auto runtime =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - watch.registered_at)
+              .count();
+      if (options_.stall_micros > 0 &&
+          since_progress >= static_cast<int64_t>(options_.stall_micros)) {
+        reason = "stall";
+      } else if (watch.has_deadline && options_.deadline_multiple > 0) {
+        const auto budget =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                watch.deadline - watch.registered_at)
+                .count();
+        if (budget > 0 &&
+            static_cast<double>(runtime) >=
+                options_.deadline_multiple * static_cast<double>(budget)) {
+          reason = "deadline_multiple";
+        }
+      }
+      if (reason.empty() && options_.max_runtime_micros > 0 &&
+          runtime >= static_cast<int64_t>(options_.max_runtime_micros)) {
+        reason = "max_runtime";
+      }
+      if (reason.empty()) continue;
+      killed_.insert(query_id);
+      killed_order_.push_back(query_id);
+      while (killed_order_.size() > kKilledHistory) {
+        killed_.erase(killed_order_.front());
+        killed_order_.pop_front();
+      }
+      victims.push_back({query_id, watch.cancel, std::move(reason)});
+    }
+  }
+  for (Victim& victim : victims) {
+    fires_.fetch_add(1, std::memory_order_relaxed);
+    if (registry_ != nullptr) {
+      registry_->GetCounter("watchdog.fires").Increment();
+      registry_->GetCounter("watchdog.fires." + victim.reason).Increment();
+    }
+    if (recorder_ != nullptr) {
+      recorder_->RecordStateTransition(
+          "watchdog", "watching",
+          "fired:" + victim.reason + ":q" + std::to_string(victim.query_id));
+      // Satellite: a watchdog fire is a post-mortem moment like a breaker
+      // trip — freeze the ring while the stuck query's history is in it.
+      recorder_->AutoDump("watchdog_fire");
+    }
+    victim.cancel.RequestCancel();
+  }
+}
+
+bool StuckQueryWatchdog::WasKilled(uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return killed_.count(query_id) != 0;
+}
+
+size_t StuckQueryWatchdog::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watches_.size();
+}
+
+}  // namespace hetdb

@@ -1,0 +1,127 @@
+#ifndef HETDB_FAULT_WATCHDOG_H_
+#define HETDB_FAULT_WATCHDOG_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/cancellation.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/query_stats.h"
+
+namespace hetdb {
+
+/// Stuck-query watchdog (DESIGN.md §13).
+///
+/// The executor's cancellation and deadline checks run at *scheduling
+/// boundaries* — a query whose next boundary never arrives (a task wedged
+/// behind a dead device's kernel lock, a fault-injection pathology, a bug)
+/// hangs forever, holding its DoP token, its heap, and its caller's future.
+/// The watchdog is the backstop: a scanner thread samples every in-flight
+/// query's *progress fingerprint* (operators run, executor time, transfers
+/// — all already maintained by QueryStats) and requests cancellation when
+///
+///   - the fingerprint has not changed for `stall_micros`, or
+///   - the query has a deadline and is now `deadline_multiple` budgets past
+///     its submission (the executor should have cancelled it at the
+///     deadline; being *multiples* past it means checkpoints stopped), or
+///   - it exceeded `max_runtime_micros` (when set).
+///
+/// Firing is a cancellation *request* through the query's own CancelToken —
+/// the executor's existing cancel path does the actual unwinding, so a
+/// watchdog kill leaves the same clean state as a client cancel (promise
+/// settled, device intermediates released). Each fire is counted, flight-
+/// recorded, and auto-dumps the ring; `WasKilled(query_id)` lets the serving
+/// layer distinguish a watchdog kill from a client cancel and hedge the
+/// query CPU-side instead of surfacing an error.
+///
+/// The scanner thread starts lazily on the first Register and joins in the
+/// destructor. `CheckNow()` runs one scan synchronously for deterministic
+/// tests (usable with scan_period_micros = 0 to keep the thread parked).
+class StuckQueryWatchdog {
+ public:
+  struct Options {
+    bool enabled = true;
+    /// Scanner wake-up period. 0 = never scan in the background (tests
+    /// drive CheckNow() instead).
+    uint64_t scan_period_micros = 100'000;
+    /// Zero progress for this long = stuck. Generous by default: queue wait
+    /// behind a loaded executor also shows no progress, and killing a
+    /// merely-slow query is worse than killing a stuck one late.
+    uint64_t stall_micros = 10'000'000;
+    /// Kill a deadlined query once now >= submit + multiple * budget.
+    double deadline_multiple = 4.0;
+    /// Absolute runtime ceiling; 0 disables.
+    uint64_t max_runtime_micros = 0;
+  };
+
+  StuckQueryWatchdog(const Options& options,
+                     MetricRegistry* registry = nullptr,
+                     FlightRecorder* recorder = nullptr);
+  ~StuckQueryWatchdog();
+
+  StuckQueryWatchdog(const StuckQueryWatchdog&) = delete;
+  StuckQueryWatchdog& operator=(const StuckQueryWatchdog&) = delete;
+
+  /// Puts a query under watch. `deadline` is ignored unless `has_deadline`.
+  /// `stats` must outlive the watch (it is held by shared_ptr). No-op when
+  /// disabled.
+  void Register(uint64_t query_id, QueryStatsPtr stats, CancelToken cancel,
+                std::chrono::steady_clock::time_point deadline,
+                bool has_deadline);
+  /// Removes a query from watch (idempotent; unknown ids are fine).
+  void Deregister(uint64_t query_id);
+
+  /// Runs one scan pass synchronously (tests, or callers that want a scan
+  /// at a known point). Safe concurrently with the scanner thread.
+  void CheckNow();
+
+  /// Whether the watchdog fired on this query id. Survives Deregister (the
+  /// serving layer checks *after* the future settles); bounded history.
+  bool WasKilled(uint64_t query_id) const;
+
+  uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+  size_t active() const;
+
+ private:
+  struct Watch {
+    QueryStatsPtr stats;
+    CancelToken cancel;
+    std::chrono::steady_clock::time_point registered_at;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+    // Last observed progress fingerprint.
+    int64_t last_ops = -1;
+    int64_t last_run_micros = -1;
+    int64_t last_transfers = -1;
+    std::chrono::steady_clock::time_point last_progress;
+  };
+
+  void ScanLoop();
+  void Scan(std::chrono::steady_clock::time_point now);
+  void EnsureThreadLocked();
+
+  const Options options_;
+  MetricRegistry* const registry_;
+  FlightRecorder* const recorder_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool thread_started_ = false;
+  std::thread thread_;
+  std::unordered_map<uint64_t, Watch> watches_;
+  std::unordered_set<uint64_t> killed_;
+  std::deque<uint64_t> killed_order_;  // bounds killed_
+  std::atomic<uint64_t> fires_{0};
+};
+
+}  // namespace hetdb
+
+#endif  // HETDB_FAULT_WATCHDOG_H_

@@ -79,9 +79,16 @@ int DeviceShardingPolicy::PickDevice(
   (void)estimated_heap_bytes;
   // Candidates: live devices whose breaker admits work right now. The
   // breaker peek also advances open-state cooldown, which is what lets a
-  // tripped device eventually half-open under a placement-only load.
+  // tripped device eventually half-open under a placement-only load. The
+  // brownout gate (when installed) prunes devices policy has benched.
+  std::function<bool(int)> gate;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    gate = device_gate_;
+  }
   std::vector<int> candidates;
   for (const int d : LiveDevices()) {
+    if (gate && !gate(d)) continue;
     if (breakers_[static_cast<size_t>(d)]->device_available()) {
       candidates.push_back(d);
     }
@@ -129,6 +136,11 @@ int DeviceShardingPolicy::PickDevice(
   const uint64_t tick =
       spread_clock_.fetch_add(1, std::memory_order_relaxed);
   return candidates[tick % candidates.size()];
+}
+
+void DeviceShardingPolicy::SetDeviceGate(std::function<bool(int)> gate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  device_gate_ = std::move(gate);
 }
 
 void DeviceShardingPolicy::MarkDeviceLost(int device) {

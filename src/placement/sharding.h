@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -88,6 +89,15 @@ class DeviceShardingPolicy {
   /// Returns -1 for plans without base scans or with no live device.
   int QueryHomeDevice(const PlanNode& root) const;
 
+  /// Installs a policy gate consulted per candidate in PickDevice (null
+  /// clears): a device for which the gate returns false is skipped even when
+  /// live with a closed breaker. The brownout controller uses this to exclude
+  /// thrashing devices at L2 and every device at L3 — unlike MarkDeviceLost,
+  /// the gate is advisory placement pressure, not a liveness change, so
+  /// affinities do NOT re-hash and nothing rebalances. The gate must be
+  /// cheap and lock-free.
+  void SetDeviceGate(std::function<bool(int)> gate);
+
   /// Removes `device` from the live set (affinities re-hash to survivors).
   void MarkDeviceLost(int device);
   /// Re-admits `device` after breaker recovery; new placements can use it
@@ -107,8 +117,9 @@ class DeviceShardingPolicy {
   std::vector<DataCache*> caches_;
   std::vector<DeviceCircuitBreaker*> breakers_;
 
-  mutable std::mutex mutex_;       // guards live_
+  mutable std::mutex mutex_;       // guards live_ and device_gate_
   std::vector<bool> live_;
+  std::function<bool(int)> device_gate_;
   /// Round-robin tie-breaker so input-free operators (e.g. joins of two
   /// host-resident tables) spread instead of all landing on device 0.
   mutable std::atomic<uint64_t> spread_clock_{0};

@@ -261,10 +261,12 @@ void AdmissionController::AdjustLimitLocked() {
   const GovernorSignals signals = signals_();
   const int before = limit_;
   if (signals.breaker == DeviceCircuitBreaker::State::kOpen ||
-      signals.thrash == ThrashingDetector::State::kThrashing) {
+      signals.thrash == ThrashingDetector::State::kThrashing ||
+      signals.brownout_level >= 2) {
     limit_ = std::max(options_.min_concurrency, limit_ / 2);
   } else if (signals.breaker == DeviceCircuitBreaker::State::kHalfOpen ||
-             signals.thrash == ThrashingDetector::State::kPressure) {
+             signals.thrash == ThrashingDetector::State::kPressure ||
+             signals.brownout_level >= 1) {
     limit_ = std::max(options_.min_concurrency, limit_ - 1);
   } else {
     limit_ = std::min(options_.max_concurrency, limit_ + 1);
@@ -277,7 +279,8 @@ void AdmissionController::AdjustLimitLocked() {
           "limit=" + std::to_string(before),
           "limit=" + std::to_string(limit_) + " thrash=" +
               ThrashStateName(signals.thrash) + " breaker=" +
-              BreakerStateName(signals.breaker));
+              BreakerStateName(signals.breaker) + " brownout=L" +
+              std::to_string(signals.brownout_level));
     }
     if (limit_ > before) {
       // Raising the limit may unblock more than one waiter.

@@ -1,6 +1,7 @@
 #ifndef HETDB_SERVER_ADMISSION_H_
 #define HETDB_SERVER_ADMISSION_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -35,6 +36,10 @@ struct TenantSpec {
 struct GovernorSignals {
   ThrashingDetector::State thrash = ThrashingDetector::State::kCalm;
   DeviceCircuitBreaker::State breaker = DeviceCircuitBreaker::State::kClosed;
+  /// Brownout ladder level (0 = normal .. 3 = survival). L2+ throttles like
+  /// thrashing (halve), L1 like pressure (decrement) — intake slows in step
+  /// with the engine-side degradation instead of fighting it.
+  int brownout_level = 0;
 };
 
 /// A query waiting for admission: the plan, its lifecycle controls (cancel
@@ -141,8 +146,12 @@ class AdmissionController {
   int in_flight() const;
   size_t queued() const;
   double ewma_service_micros() const;
-  uint64_t offered() const { return offered_; }
-  uint64_t shed_total() const { return shed_total_; }
+  uint64_t offered() const {
+    return offered_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_total() const {
+    return shed_total_.load(std::memory_order_relaxed);
+  }
 
   /// Sheds `query` outside the controller (the server uses this for
   /// dispatch-time rejections): marks stats shed, settles the promise with
@@ -183,8 +192,10 @@ class AdmissionController {
   int limit_ = 0;
   double ewma_service_micros_ = 0;
   int completions_since_adjust_ = 0;
-  uint64_t offered_ = 0;
-  uint64_t shed_total_ = 0;
+  // Atomic so the brownout controller's admission probe can read them
+  // without taking this controller's mutex (writes stay mutex-guarded).
+  std::atomic<uint64_t> offered_{0};
+  std::atomic<uint64_t> shed_total_{0};
   bool stopped_ = false;
 
   // Registry-backed (optional) instruments, resolved once.

@@ -48,6 +48,7 @@ std::function<GovernorSignals()> MakeEngineSignals(EngineContext* ctx) {
         signals.breaker = breaker;
       }
     }
+    signals.brownout_level = ctx->brownout().level_int();
     return signals;
   };
 }
@@ -58,10 +59,22 @@ Server::Server(EngineContext* ctx, ServerOptions options)
     : ctx_(ctx),
       options_(std::move(options)),
       runner_(ctx, options_.strategy),
+      hedge_runner_(ctx, Strategy::kCpuOnly),
       admission_(options_.admission, &ctx->telemetry().registry(),
                  &ctx->flight_recorder(),
                  options_.governor_follows_engine ? MakeEngineSignals(ctx)
                                                   : nullptr) {
+  // The brownout controller reads admission state (queue depth, shed rate)
+  // as one of its escalation signals — the serving layer is where overload
+  // becomes visible first.
+  ctx_->brownout().SetAdmissionProbe([this] {
+    BrownoutAdmissionProbe probe;
+    probe.queued = static_cast<int>(admission_.queued());
+    probe.in_flight = admission_.in_flight();
+    probe.offered = admission_.offered();
+    probe.shed = admission_.shed_total();
+    return probe;
+  });
   const int dispatchers = ResolveDispatchers(options_);
   dispatchers_.reserve(dispatchers);
   for (int i = 0; i < dispatchers; ++i) {
@@ -84,8 +97,11 @@ std::future<Result<TablePtr>> Server::Submit(const std::string& tenant,
                                              SubmitOptions options) {
   // Fuse before stats registration so per-node attribution (and the plan
   // the dispatcher executes) follow the rewritten shape. Declined when the
-  // caller pre-registered stats against the unfused plan.
-  plan = OptimizePlan(plan, options.stats.get());
+  // caller pre-registered stats against the unfused plan. Brownout L1+
+  // caps fusion at single-join chains (see pipeline_builder.h).
+  plan = OptimizePlan(
+      plan, options.stats.get(),
+      ctx_->brownout().AllowMultiJoinFusion() ? -1 : 1);
   auto query = std::make_unique<QueuedQuery>();
   query->tenant = tenant;
   query->cost = options.cost;
@@ -111,8 +127,34 @@ void Server::DispatcherLoop() {
     QueuedQueryPtr query = admission_.Take();
     if (query == nullptr) return;
     const auto started = std::chrono::steady_clock::now();
+    // Capture what hedging classification needs before RunQuery consumes
+    // the controls.
+    const CancelToken cancel = query->controls.cancel;
+    const QueryStatsPtr stats = query->controls.stats;
     Result<TablePtr> result =
         runner_.RunQuery(query->plan, std::move(query->controls));
+    if (!result.ok() && options_.hedge_cpu_replay) {
+      // Hedge only engine-side deaths: a watchdog kill (fired through the
+      // same cancel token a client would use — WasKilled disambiguates) or
+      // a device-side abort that escaped the executor's own CPU fallback.
+      // Client cancels stay cancelled; deadline misses stay missed (the
+      // admission layer already classified them); shed queries never reach
+      // this loop.
+      const uint64_t query_id = stats != nullptr ? stats->query_id() : 0;
+      const bool watchdog_killed = ctx_->watchdog().WasKilled(query_id);
+      const bool client_cancel = !watchdog_killed && cancel.cancelled();
+      const StatusCode code = result.status().code();
+      const bool device_abort = code == StatusCode::kDeviceLost ||
+                                code == StatusCode::kUnavailable ||
+                                code == StatusCode::kAborted;
+      if (!client_cancel && (watchdog_killed || device_abort)) {
+        const std::string name =
+            stats != nullptr ? stats->name() : std::string();
+        result = HedgeReplay(query->plan, name, query_id,
+                             watchdog_killed ? "watchdog_kill"
+                                             : StatusCodeToString(code));
+      }
+    }
     const int64_t service_micros =
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - started)
@@ -123,7 +165,38 @@ void Server::DispatcherLoop() {
   }
 }
 
+Result<TablePtr> Server::HedgeReplay(const PlanNodePtr& plan,
+                                     const std::string& name,
+                                     uint64_t query_id,
+                                     const std::string& reason) {
+  hedge_attempts_.fetch_add(1, std::memory_order_relaxed);
+  ctx_->telemetry().registry().GetCounter("server.hedge_attempts").Increment();
+  QueryControls controls;
+  controls.stats = MakeQueryStats(plan);
+  controls.stats->set_name(name.empty() ? "hedge" : name + ".hedge");
+  if (options_.hedge_budget_ms > 0) {
+    controls.deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(static_cast<int64_t>(
+                            options_.hedge_budget_ms * 1000.0));
+  }
+  Result<TablePtr> replay = hedge_runner_.RunQuery(plan, std::move(controls));
+  if (replay.ok()) {
+    hedge_successes_.fetch_add(1, std::memory_order_relaxed);
+    ctx_->telemetry()
+        .registry()
+        .GetCounter("server.hedge_successes")
+        .Increment();
+  }
+  ctx_->flight_recorder().RecordStateTransition(
+      "server.hedge", "q" + std::to_string(query_id) + ":" + reason,
+      replay.ok() ? "success" : "failed:" + replay.status().ToString());
+  return replay;
+}
+
 void Server::Shutdown() {
+  // Drop the admission probe first: after Shutdown the controller must not
+  // call back into a half-destroyed server.
+  ctx_->brownout().SetAdmissionProbe(nullptr);
   admission_.Stop();
   for (std::thread& thread : dispatchers_) {
     if (thread.joinable()) thread.join();

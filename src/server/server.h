@@ -1,6 +1,7 @@
 #ifndef HETDB_SERVER_SERVER_H_
 #define HETDB_SERVER_SERVER_H_
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <string>
@@ -48,6 +49,16 @@ struct ServerOptions {
   /// device circuit breaker. Off = fixed limit (tests inject their own
   /// signals through AdmissionOptions instead).
   bool governor_follows_engine = true;
+  /// Hedged re-execution: a dispatched query that dies for an engine-side
+  /// reason (watchdog kill, device lost/aborted mid-query) is replayed once
+  /// on the CPU-only path before its future is settled — the client sees a
+  /// late answer instead of an infrastructure error. Client cancels and
+  /// shed queries are never hedged.
+  bool hedge_cpu_replay = true;
+  /// Wall-clock budget for one CPU replay, in milliseconds (0 = unbounded).
+  /// The replay ignores the original deadline — by the time a hedge runs
+  /// the SLO is already lost; the hedge is about availability, not latency.
+  double hedge_budget_ms = 5000.0;
 };
 
 class Server;
@@ -116,13 +127,32 @@ class Server {
   EngineContext& ctx() { return *ctx_; }
   const ServerOptions& options() const { return options_; }
 
+  /// Hedged CPU replays attempted / that produced a result (diagnostics and
+  /// the availability bench's accounting).
+  uint64_t hedge_attempts() const {
+    return hedge_attempts_.load(std::memory_order_relaxed);
+  }
+  uint64_t hedge_successes() const {
+    return hedge_successes_.load(std::memory_order_relaxed);
+  }
+
  private:
   void DispatcherLoop();
+  /// One bounded CPU-only replay of `plan`; updates hedge counters and the
+  /// flight recorder. `reason` labels the records.
+  Result<TablePtr> HedgeReplay(const PlanNodePtr& plan,
+                               const std::string& name, uint64_t query_id,
+                               const std::string& reason);
 
   EngineContext* ctx_;
   ServerOptions options_;
   StrategyRunner runner_;
+  /// CPU-only replay vehicle for hedged re-execution: no chopping pools, no
+  /// device resources — it cannot be hurt by whatever killed the original.
+  StrategyRunner hedge_runner_;
   AdmissionController admission_;
+  std::atomic<uint64_t> hedge_attempts_{0};
+  std::atomic<uint64_t> hedge_successes_{0};
   std::vector<std::thread> dispatchers_;
 };
 

@@ -102,8 +102,12 @@ void RunOpenLoopTenant(Server& server, const TenantTraffic& tenant,
       continue;
     }
     // Fuse before registering stats so Server::Submit keeps the rewrite
-    // (it declines fusion when stats are bound to a different plan).
-    plan.value() = OptimizePlan(plan.value());
+    // (it declines fusion when stats are bound to a different plan). Must
+    // match Submit's brownout fusion cap or the shapes diverge and the
+    // rewrite is declined.
+    plan.value() = OptimizePlan(
+        plan.value(), nullptr,
+        server.ctx().brownout().AllowMultiJoinFusion() ? -1 : 1);
     QueryStatsPtr stats = MakeQueryStats(plan.value());
     accum.offered.fetch_add(1, std::memory_order_relaxed);
     Pending p;
@@ -146,7 +150,9 @@ void RunClosedLoopTenant(Server& server, const TenantTraffic& tenant,
       accum.failed.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
-    plan.value() = OptimizePlan(plan.value());
+    plan.value() = OptimizePlan(
+        plan.value(), nullptr,
+        server.ctx().brownout().AllowMultiJoinFusion() ? -1 : 1);
     QueryStatsPtr stats = MakeQueryStats(plan.value());
     accum.offered.fetch_add(1, std::memory_order_relaxed);
     Result<TablePtr> result = session->Execute(

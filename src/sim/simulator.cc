@@ -18,7 +18,8 @@ const char* ProcessorKindToString(ProcessorKind kind) {
 Simulator::Simulator(const SystemConfig& config)
     : config_(config),
       clock_(config.simulate_time, config.time_scale),
-      cpu_slots_(config.cpu_workers) {
+      cpu_slots_(config.cpu_workers),
+      retry_rng_(config.retry_jitter_seed) {
   HETDB_CHECK(config.cpu_workers > 0);
   HETDB_CHECK(config.pcie_mbps > 0);
   HETDB_CHECK(config.device_count > 0);
@@ -33,6 +34,14 @@ Simulator::Simulator(const SystemConfig& config)
         device->fault_injector.get(), d);
     devices_.push_back(std::move(device));
   }
+}
+
+double Simulator::RetryBackoffMicros(int attempt) {
+  const double ceiling =
+      config_.device_retry_backoff_micros * static_cast<double>(1ull << attempt);
+  if (!config_.device_retry_jitter) return ceiling;
+  std::lock_guard<std::mutex> lock(retry_rng_mutex_);
+  return retry_rng_.NextDouble() * ceiling;
 }
 
 int Simulator::Check(int device) const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "fault/fault_injector.h"
 #include "sim/device_allocator.h"
@@ -122,6 +123,15 @@ class Simulator {
   /// on the destination's — each consulting that link's fault injector.
   Status TransferDeviceToDevice(size_t bytes, int from, int to);
 
+  /// Modeled backoff before device/transfer retry `attempt` (0-based).
+  /// Exponential ceiling `device_retry_backoff_micros * 2^attempt`; with
+  /// `device_retry_jitter` each call draws uniformly in [0, ceiling) ("full
+  /// jitter") from a per-Simulator RNG seeded by `retry_jitter_seed`, so
+  /// concurrent sessions burned by one shared fault burst desynchronize
+  /// instead of retrying in lockstep, while any fixed (config, call order)
+  /// still reproduces bit-identical backoffs under tests.
+  double RetryBackoffMicros(int attempt);
+
   /// Modeled kernel duration without executing it (for cost estimation).
   double EstimateComputeMicros(ProcessorKind processor, OpClass op_class,
                                size_t input_bytes) const;
@@ -159,6 +169,8 @@ class Simulator {
   SimClock clock_;
   std::vector<std::unique_ptr<Device>> devices_;
   Semaphore cpu_slots_;
+  std::mutex retry_rng_mutex_;
+  Rng retry_rng_;
   std::mutex d2d_lane_mutex_;
   std::atomic<uint64_t> d2d_bytes_{0};
   std::atomic<uint64_t> d2d_count_{0};

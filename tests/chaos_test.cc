@@ -22,6 +22,7 @@
 #include "engine/pipeline_builder.h"
 #include "fault/circuit_breaker.h"
 #include "fault/fault_injector.h"
+#include "fault/watchdog.h"
 #include "placement/runtime.h"
 #include "placement/strategy_runner.h"
 #include "ssb/ssb_generator.h"
@@ -206,6 +207,37 @@ TEST(CircuitBreakerTest, PlacerPeekAdvancesCooldown) {
   EXPECT_EQ(breaker.state(), DeviceCircuitBreaker::State::kHalfOpen);
 }
 
+/// Half-open is a *bounded* probe window: under a stampede of concurrent
+/// requests, exactly half_open_probes slots are admitted and everyone else
+/// is denied without perturbing the state machine — the admitted probes'
+/// outcomes alone decide whether the breaker closes.
+TEST(CircuitBreakerTest, HalfOpenProbeContentionAdmitsBoundedProbes) {
+  DeviceCircuitBreaker breaker{SmallBreaker()};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.AllowDevice());
+    breaker.RecordDeviceAbort();
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(breaker.AllowDevice());
+  ASSERT_EQ(breaker.state(), DeviceCircuitBreaker::State::kHalfOpen);
+
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&breaker, &admitted] {
+      if (breaker.AllowDevice()) admitted.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(admitted.load(), SmallBreaker().half_open_probes);
+  EXPECT_EQ(breaker.state(), DeviceCircuitBreaker::State::kHalfOpen);
+
+  // The denied stampede consumed nothing: the two real probes still close
+  // the breaker on success.
+  breaker.RecordDeviceSuccess();
+  breaker.RecordDeviceSuccess();
+  EXPECT_EQ(breaker.state(), DeviceCircuitBreaker::State::kClosed);
+}
+
 // ---------------------------------------------------------------------------
 // Engine-level chaos: SSB under seeded fault schedules
 // ---------------------------------------------------------------------------
@@ -375,6 +407,81 @@ TEST(ChaosTest, BreakerRecoversViaHalfOpenProbes) {
     EXPECT_TRUE(TablesEqual(*expected, *result.value()));
   }
   EXPECT_EQ(ctx.breaker().state(), DeviceCircuitBreaker::State::kClosed);
+}
+
+/// A watchdog kill travels the executor's ordinary cancel path, so it must
+/// leave the same clean state a client cancel does: the future settles (with
+/// Cancelled, or the result if the query won the race), the executor
+/// deregisters the query from the engine watchdog, and no device byte stays
+/// allocated. Repeated kills must not accumulate state, and the engine keeps
+/// serving correct results afterwards.
+TEST(ChaosTest, WatchdogKillLeavesNoStrandedState) {
+  DatabasePtr db = ChaosDb();
+  TablePtr expected = Reference("Q3.1");
+  // Modeled time keeps the query in flight for milliseconds, so the kill
+  // reliably lands mid-flight (with no-sleep TestConfig the query can beat
+  // a sub-millisecond watchdog to the finish line).
+  SystemConfig config = TestConfig();
+  config.simulate_time = true;
+  EngineContext ctx(config, db);
+  {
+    StrategyRunner runner(&ctx, Strategy::kChopping);
+    // A test-local watchdog with a microscopic runtime ceiling plays the
+    // killer (the engine's own watchdog keeps production thresholds); both
+    // fire through the query's CancelToken, so the unwind path is the same.
+    StuckQueryWatchdog::Options options;
+    options.scan_period_micros = 0;  // test drives CheckNow()
+    options.stall_micros = 0;
+    options.deadline_multiple = 0;
+    options.max_runtime_micros = 1;
+    StuckQueryWatchdog watchdog(options);
+    int kills = 0;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      PlanNodePtr plan = ChaosPlan("Q3.1");
+      QueryControls controls;
+      controls.cancel = CancelToken::Create();
+      controls.stats = MakeQueryStats(plan);
+      const uint64_t query_id = 1000u + static_cast<uint64_t>(cycle);
+      controls.stats->set_query_id(query_id);
+      const CancelToken cancel = controls.cancel;
+      watchdog.Register(query_id, controls.stats, cancel, {},
+                        /*has_deadline=*/false);
+      std::future<Result<TablePtr>> future =
+          std::async(std::launch::async, [&runner, &plan, &controls] {
+            return runner.RunQuery(plan, std::move(controls));
+          });
+      // Kill early and keep checking: the ceiling is 1us, so the first scan
+      // after launch fires while the query is still mid-flight.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      while (future.wait_for(std::chrono::microseconds(50)) !=
+             std::future_status::ready) {
+        watchdog.CheckNow();
+      }
+      Result<TablePtr> result = future.get();
+      watchdog.Deregister(query_id);
+      if (result.ok()) {
+        // The query beat the kill to the finish line; result must be right.
+        EXPECT_TRUE(TablesEqual(*expected, *result.value())) << cycle;
+      } else {
+        EXPECT_TRUE(result.status().IsCancelled())
+            << cycle << ": " << result.status().ToString();
+        EXPECT_TRUE(watchdog.WasKilled(query_id)) << cycle;
+        ++kills;
+      }
+      // The executor deregisters before settling the promise, so once the
+      // future resolved the engine watchdog must be empty. (Device bytes of
+      // straggler in-kernel tasks drain by executor teardown, asserted at
+      // scope exit — the same contract as a client cancel.)
+      EXPECT_EQ(ctx.watchdog().active(), 0u) << "cycle " << cycle;
+    }
+    EXPECT_GT(kills, 0) << "no cycle was ever killed; ceiling too lax?";
+    // Recovery: with the killer idle, the same query runs to the correct
+    // result — no lingering cancel or watchdog verdict affects fresh work.
+    Result<TablePtr> clean = runner.RunQuery(ChaosPlan("Q3.1"));
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    EXPECT_TRUE(TablesEqual(*expected, *clean.value()));
+  }
+  EXPECT_EQ(ctx.simulator().device_heap().used(), 0u);
 }
 
 /// Tripping the breaker must automatically dump the flight recorder as
